@@ -1,0 +1,15 @@
+"""Benchmark-suite configuration.
+
+Prints a pointer to the generated result tables at the end of the session.
+"""
+
+import pathlib
+
+
+def pytest_sessionfinish(session, exitstatus):
+    results = pathlib.Path(__file__).parent / "results"
+    if results.is_dir() and any(results.glob("*.txt")):
+        print(f"\npaper-metric tables written to {results}/")
+        for path in sorted(results.glob("*.txt")):
+            print(f"\n=== {path.name} ===")
+            print(path.read_text().rstrip())

@@ -1,0 +1,88 @@
+"""Figure 3: breakdown of MigrRDMA's blackout time.
+
+Reproduces the four subplots: migrating the sender / the receiver, with
+and without RDMA pre-setup, sweeping the number of QPs.  The paper's
+claims to reproduce:
+
+- RestoreRDMA grows with #QPs and dominates the no-pre-setup blackout
+  (~50 % at the high end),
+- pre-setup removes RestoreRDMA entirely, cutting blackout by up to ~58 %,
+- DumpOthers grows with #QPs even with pre-setup (CRIU's superlinear
+  memory-structure handling), faster when migrating the sender.
+"""
+
+import pytest
+
+from bench_common import (
+    FULL_MODE,
+    MigrationScenario,
+    breakdown_row,
+    record_result,
+)
+
+QP_SWEEP = [16, 64, 256, 1024] if FULL_MODE else [16, 64, 256]
+
+HEADER = (f"{'case':<22} {'QPs':>5} {'DumpRDMA':>9} {'DumpOthers':>11} "
+          f"{'Transfer':>9} {'RestoreRDMA':>12} {'FullRestore':>12} "
+          f"{'blackout':>9} (ms)")
+
+
+def _run(num_qps, migrate, presetup):
+    scenario = MigrationScenario(
+        num_qps=num_qps, msg_size=65536, depth=8, mode="write",
+        migrate=migrate, presetup=presetup,
+        sender_extra_vmas=num_qps * 4)
+    report = scenario.run_migration()
+    return report
+
+
+@pytest.mark.parametrize("presetup", [True, False], ids=["presetup", "no-presetup"])
+@pytest.mark.parametrize("migrate", ["sender", "receiver"])
+@pytest.mark.parametrize("num_qps", QP_SWEEP)
+def test_fig3_blackout_breakdown(benchmark, num_qps, migrate, presetup):
+    report = benchmark.pedantic(
+        lambda: _run(num_qps, migrate, presetup), rounds=1, iterations=1)
+    row = breakdown_row(f"{migrate}/{'pre' if presetup else 'nopre'}", report)
+    benchmark.extra_info.update(row)
+    record_result(
+        "fig3_blackout_breakdown.txt", HEADER,
+        f"{row['label']:<22} {num_qps:>5} {row['DumpRDMA_ms']:>9.1f} "
+        f"{row['DumpOthers_ms']:>11.1f} {row['Transfer_ms']:>9.1f} "
+        f"{row['RestoreRDMA_ms']:>12.1f} {row['FullRestore_ms']:>12.1f} "
+        f"{row['blackout_ms']:>9.1f}")
+
+    # Shape assertions from the paper.
+    phases = dict(report.breakdown.ordered())
+    if presetup:
+        assert "RestoreRDMA" not in phases
+    else:
+        assert phases["RestoreRDMA"] > 0
+
+
+def test_fig3_shape_restore_rdma_dominates_at_scale(benchmark):
+    """At the top of the sweep, RestoreRDMA approaches ~half the blackout
+    (the paper reports ~50 % at 4096 QPs)."""
+    report = benchmark.pedantic(
+        lambda: _run(QP_SWEEP[-1], "sender", presetup=False), rounds=1, iterations=1)
+    fraction = report.breakdown.fraction("RestoreRDMA")
+    benchmark.extra_info["restore_rdma_fraction"] = fraction
+    record_result(
+        "fig3_blackout_breakdown.txt", HEADER,
+        f"# RestoreRDMA fraction at {QP_SWEEP[-1]} QPs (no pre-setup): {fraction:.0%}")
+    assert fraction > 0.30
+
+
+def test_fig3_shape_presetup_reduces_blackout(benchmark):
+    """Pre-setup reduces blackout substantially (paper: up to 58 %)."""
+    num_qps = QP_SWEEP[1]
+
+    def run_both():
+        return _run(num_qps, "sender", presetup=True), _run(num_qps, "sender", presetup=False)
+
+    with_pre, without = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    reduction = 1 - with_pre.blackout_s / without.blackout_s
+    benchmark.extra_info["blackout_reduction"] = reduction
+    record_result(
+        "fig3_blackout_breakdown.txt", HEADER,
+        f"# blackout reduction from pre-setup at {num_qps} QPs: {reduction:.0%}")
+    assert reduction > 0.25

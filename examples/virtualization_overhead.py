@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Measure MigrRDMA's data-path virtualization overhead (Table 4 style).
+
+Runs the perftest cycle-sampling extension over the plain verbs library and
+over the MigrRDMA guest library, for each of the four data-path operations,
+and prints per-operation CPU cycles plus the relative overhead.  Also shows
+the §6 comparison against LubeRDMA's linked-list key translation and a
+FreeFlow-style full-queue virtualization.
+
+Run:  python examples/virtualization_overhead.py
+"""
+
+from repro import cluster
+from repro.apps.perftest import PerftestEndpoint, connect_endpoints
+from repro.baselines import FreeFlowCostModel, LubeRdmaKeyTable
+from repro.baselines.keytables import uniform_access_pattern
+from repro.core import MigrRdmaWorld
+
+
+def measure(mode: str, virtualized: bool, iters: int = 512):
+    tb = cluster.build(num_partners=1)
+    world = MigrRdmaWorld(tb) if virtualized else None
+    sender = PerftestEndpoint(tb.source, world=world, mode=mode,
+                              msg_size=64, depth=16, sample_cycles=True)
+    receiver = PerftestEndpoint(tb.partners[0], world=world, mode=mode,
+                                msg_size=64, depth=16)
+
+    def flow():
+        yield from sender.setup(qp_budget=1)
+        yield from receiver.setup(qp_budget=1)
+        yield from connect_endpoints(sender, receiver, qp_count=1)
+        if mode == "send":
+            receiver.start_as_receiver()
+        sender.start_as_sender(iters=iters)
+        while sender.running:
+            yield tb.sim.timeout(100e-6)
+
+    tb.run(flow(), limit=60.0)
+    assert sender.stats.clean, sender.stats
+    return sender.process.cpu.mean_sample_cycles(mode)
+
+
+def main():
+    print("=== Table 4: data-path CPU cycles per operation (64 B, 1 RC QP) ===")
+    print(f"{'op':<8} {'w/o virt':>10} {'with virt':>10} {'extra':>8} {'overhead':>9}")
+    for mode, label in [("send", "send"), ("write", "write"), ("read", "read")]:
+        base = measure(mode, virtualized=False)
+        virt = measure(mode, virtualized=True)
+        extra = virt - base
+        print(f"{label:<8} {base:>10.1f} {virt:>10.1f} {extra:>8.1f} {extra / base:>8.1%}")
+
+    print()
+    print("=== §6: key translation designs (uniform access over N MRs) ===")
+    print(f"{'N MRs':<8} {'MigrRDMA array':>15} {'LubeRDMA list':>15}")
+    for num_mrs in (4, 16, 64, 256):
+        linked = LubeRdmaKeyTable()
+        for i in range(num_mrs):
+            linked.register(i)
+        pattern = uniform_access_pattern(num_mrs, 5000)
+        list_cycles = linked.mean_lookup_cycles(pattern)
+        array_cycles = linked.cpu.lkey_array_lookup_cycles
+        print(f"{num_mrs:<8} {array_cycles:>13.1f}cy {list_cycles:>13.1f}cy")
+
+    freeflow = FreeFlowCostModel()
+    print()
+    print("FreeFlow-style full queue virtualization: "
+          f"{freeflow.per_wr_overhead_cycles():.0f} cycles/WR "
+          f"({freeflow.overhead_fraction(freeflow.cpu.base_cycles['send']):.0%} of a SEND)")
+
+
+if __name__ == "__main__":
+    main()

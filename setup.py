@@ -1,0 +1,6 @@
+"""Setup shim: allows `python setup.py develop` on machines without the
+`wheel` package (pip's PEP 660 editable install needs wheel)."""
+
+from setuptools import setup
+
+setup()

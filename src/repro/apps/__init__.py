@@ -1,0 +1,11 @@
+"""Application workloads: perftest (microbenchmarks) and RDMA-Hadoop."""
+
+from repro.apps.perftest import (
+    PerftestEndpoint,
+    connect_endpoints,
+    latency_percentiles,
+    run_pingpong,
+)
+
+__all__ = ["PerftestEndpoint", "connect_endpoints", "latency_percentiles",
+           "run_pingpong"]

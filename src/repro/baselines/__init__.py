@@ -1,0 +1,26 @@
+"""Baselines and comparison models.
+
+- :mod:`repro.baselines.no_presetup` — MigrRDMA without RDMA pre-setup
+  (the paper's own comparison workflow, §4),
+- :mod:`repro.baselines.migros` — a model of MigrOS (hardware-extension
+  approach) for the §6 stop-and-copy comparison,
+- :mod:`repro.baselines.keytables` — LubeRDMA linked-list and
+  FreeFlow full-queue virtualization cost models for the §6 data-path
+  comparisons.
+"""
+
+from repro.baselines.no_presetup import migrate_without_presetup
+from repro.baselines.migros import MigrOsModel
+from repro.baselines.keytables import (
+    FreeFlowCostModel,
+    LubeRdmaKeyTable,
+    MigrRdmaKeyTable,
+)
+
+__all__ = [
+    "FreeFlowCostModel",
+    "LubeRdmaKeyTable",
+    "MigrOsModel",
+    "MigrRdmaKeyTable",
+    "migrate_without_presetup",
+]

@@ -1,0 +1,112 @@
+"""Data-path virtualization cost comparisons (§6).
+
+Three designs for translating virtual access keys on the data path:
+
+- **MigrRDMA** — dense virtual keys, array lookup: O(1), ~2 cycles
+  (:class:`MigrRdmaKeyTable`, backed by a real Python list),
+- **LubeRDMA** — linked list with move-to-front: O(working set) when the
+  application alternates between MRs (:class:`LubeRdmaKeyTable`),
+- **FreeFlow** — no key translation at all, but the *entire queue* is
+  virtualized: every WR is copied between the application's queue and a
+  shadow queue (:class:`FreeFlowCostModel`), which is why the paper calls
+  its data-path overhead high.
+
+The classes expose both real lookups (benchmarkable with
+pytest-benchmark) and modelled cycle costs (for Table-4-style accounting).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.config import CpuConfig
+from repro.core.translation import DenseArrayTable, LinkedListTable
+
+
+class MigrRdmaKeyTable:
+    """Dense-array translation (the paper's design)."""
+
+    def __init__(self, cpu: CpuConfig = None):
+        self.cpu = cpu or CpuConfig()
+        self._table = DenseArrayTable()
+
+    def register(self, physical_key: int) -> int:
+        """Assign the next dense virtual key; returns it."""
+        return self._table.insert(physical_key)
+
+    def lookup(self, vkey: int) -> int:
+        """One array index: the O(1) translation of §3.3."""
+        return self._table.lookup(vkey)
+
+    def lookup_cost_cycles(self, vkey: int) -> float:
+        """Modelled cost — constant, independent of table size."""
+        return self.cpu.lkey_array_lookup_cycles
+
+
+class LubeRdmaKeyTable:
+    """Move-to-front linked-list translation (LubeRDMA's design)."""
+
+    def __init__(self, cpu: CpuConfig = None):
+        self.cpu = cpu or CpuConfig()
+        self._table = LinkedListTable()
+        self._count = 0
+
+    def register(self, physical_key: int) -> int:
+        vkey = self._count
+        self._count += 1
+        self._table.insert(vkey, physical_key)
+        return vkey
+
+    def lookup(self, vkey: int) -> int:
+        return self._table.lookup(vkey)
+
+    def lookup_cost_cycles(self, vkey: int) -> float:
+        """Cycles for the *last* lookup (nodes visited × per-node cost)."""
+        before = self._table.nodes_visited
+        self._table.lookup(vkey)
+        visited = self._table.nodes_visited - before
+        return visited * self.cpu.linked_list_node_cycles
+
+    def mean_lookup_cycles(self, access_pattern: List[int]) -> float:
+        """Average modelled cost over an access pattern."""
+        start = self._table.nodes_visited
+        for vkey in access_pattern:
+            self._table.lookup(vkey)
+        visited = self._table.nodes_visited - start
+        return visited / len(access_pattern) * self.cpu.linked_list_node_cycles
+
+
+class FreeFlowCostModel:
+    """FreeFlow-style full queue virtualization: per-WR queue copies."""
+
+    def __init__(self, cpu: CpuConfig = None):
+        self.cpu = cpu or CpuConfig()
+
+    def per_wr_overhead_cycles(self) -> float:
+        """One copy into the shadow queue on post, one completion copy back."""
+        return 2 * self.cpu.queue_copy_cycles_per_wr
+
+    def overhead_fraction(self, base_cycles: float) -> float:
+        """Overhead relative to the base cost of one verbs operation."""
+        return self.per_wr_overhead_cycles() / base_cycles
+
+
+def uniform_access_pattern(num_mrs: int, num_accesses: int, seed: int = 7) -> List[int]:
+    """An application that spreads one-sided operations across its MRs —
+    the case where LubeRDMA's list walk hurts (§6)."""
+    rng = random.Random(seed)
+    return [rng.randrange(num_mrs) for _ in range(num_accesses)]
+
+
+def hot_cold_access_pattern(num_mrs: int, num_accesses: int,
+                            hot_fraction: float = 0.9, seed: int = 7) -> List[int]:
+    """Mostly one hot MR — the case move-to-front is designed for."""
+    rng = random.Random(seed)
+    out = []
+    for _ in range(num_accesses):
+        if rng.random() < hot_fraction:
+            out.append(0)
+        else:
+            out.append(rng.randrange(num_mrs))
+    return out

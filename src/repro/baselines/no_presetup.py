@@ -1,0 +1,21 @@
+"""The no-pre-setup migration workflow (§4's comparison implementation).
+
+"We implement another RDMA live migration workflow without communication
+pre-setup for comparison.  For this case, we only do one dumping during
+stop-and-copy ... we restore the RDMA after all the memory are restored."
+This module is a thin named entry point over
+:class:`~repro.core.orchestrator.LiveMigration` with ``presetup=False`` so
+benchmarks read naturally.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import Container, Server
+from repro.core.orchestrator import LiveMigration
+from repro.core.world import MigrRdmaWorld
+
+
+def migrate_without_presetup(world: MigrRdmaWorld, container: Container,
+                             dest: Server) -> LiveMigration:
+    """A LiveMigration configured like the paper's comparison baseline."""
+    return LiveMigration(world, container, dest, presetup=False)

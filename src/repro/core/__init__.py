@@ -1,0 +1,39 @@
+"""MigrRDMA: the paper's primary contribution.
+
+Components (mirroring Figure 2a):
+
+- :mod:`repro.core.records` — the minimal per-resource state the
+  indirection layer bookkeeps to rebuild RDMA communication,
+- :mod:`repro.core.translation` — dense array translation tables for
+  QPNs and access keys, plus the partner-side rkey/remote-QPN cache,
+- :mod:`repro.core.indirection` — the driver-side indirection layer:
+  control-path logging, shared translation tables, suspension flags,
+- :mod:`repro.core.control` — the out-of-band control plane (partner
+  notification, key resolution, n_sent exchange),
+- :mod:`repro.core.guest_lib` — MigrRDMA Guest Lib: the interposed verbs
+  library applications link against,
+- :mod:`repro.core.wbs` — wait-before-stop machinery (fake CQs, drain),
+- :mod:`repro.core.host_lib` — MigrRDMA Host Lib: the ibv_restore_* APIs
+  CRIU calls (Table 3),
+- :mod:`repro.core.plugin` — the CRIU plugin wiring it into the
+  container-migration workflow,
+- :mod:`repro.core.orchestrator` — the end-to-end live migration of
+  Figure 2(b), with and without RDMA pre-setup.
+"""
+
+from repro.core.guest_lib import MigrRdmaGuestLib
+from repro.core.indirection import IndirectionLayer
+from repro.core.control import ControlPlane
+from repro.core.orchestrator import LiveMigration, MigrationReport
+from repro.core.plugin import MigrRdmaPlugin
+from repro.core.world import MigrRdmaWorld
+
+__all__ = [
+    "ControlPlane",
+    "IndirectionLayer",
+    "LiveMigration",
+    "MigrRdmaGuestLib",
+    "MigrRdmaPlugin",
+    "MigrRdmaWorld",
+    "MigrationReport",
+]

@@ -1,0 +1,99 @@
+"""The MigrRDMA out-of-band control plane.
+
+RDMA applications exchange QPNs and rkeys over out-of-band channels the
+RDMA library never sees (§3.3).  MigrRDMA adds its own out-of-band plane
+between the *indirection layers* of the servers, carrying:
+
+- **resolution** requests: virtual QPN / virtual rkey → current physical
+  value, answered by the server currently hosting the service (the
+  fetch-and-cache path of Table 1's fourth row),
+- **migration notifications** from the source to each partner (destination
+  address + the list of the partner's physical QPNs that talk to the
+  migrated service, §3.2),
+- **cache invalidations** for the migrated service's rkeys/QPNs,
+- **n_sent exchange** during wait-before-stop (§3.4),
+- **pre-setup exchange**: a partner's new QP handshaking with the
+  migration destination to swap new physical QPNs.
+
+Transport is the testbed's TCP channels, so control traffic pays real
+wire/contention time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.cluster import Testbed
+
+RESOLVE_REQ_BYTES = 64
+RESOLVE_RESP_BYTES = 64
+NOTIFY_BASE_BYTES = 128
+NOTIFY_PER_QP_BYTES = 8
+
+
+class ControlPlane:
+    """Routes control RPCs between servers' MigrRDMA daemons."""
+
+    def __init__(self, tb: Testbed):
+        self.tb = tb
+        self.sim = tb.sim
+        #: server name -> op name -> handler(request dict) -> result
+        self._services: Dict[str, Dict[str, Callable[[dict], object]]] = {}
+        self._installed_channels = set()
+
+    # -- registration -----------------------------------------------------
+
+    def register(self, server_name: str, op: str, handler: Callable[[dict], object]) -> None:
+        self._services.setdefault(server_name, {})[op] = handler
+
+    def supports_migrrdma(self, server_name: str) -> bool:
+        """Negotiation probe (§6, hybrid case)."""
+        return server_name in self._services
+
+    # -- transport ----------------------------------------------------------
+
+    def _channel_for(self, a: str, b: str):
+        channel = self.tb.channel(a, b)
+        if id(channel) not in self._installed_channels:
+            channel.set_rpc_handler(self._dispatch)
+            self._installed_channels.add(id(channel))
+        return channel
+
+    def _dispatch(self, request: dict):
+        dst = request["dst"]
+        op = request["op"]
+        handlers = self._services.get(dst)
+        if handlers is None or op not in handlers:
+            return ({"status": "unsupported"}, RESOLVE_RESP_BYTES)
+        result = handlers[op](request)
+        size = request.get("resp_size", RESOLVE_RESP_BYTES)
+        return ({"status": "ok", "result": result}, size)
+
+    def call(self, src: str, dst: str, op: str, request: Optional[dict] = None,
+             req_size: int = RESOLVE_REQ_BYTES):
+        """Generator: RPC from ``src``'s daemon to ``dst``'s daemon.
+
+        Returns the handler result; raises LookupError for unsupported ops
+        (the negotiation signal for non-MigrRDMA peers).
+        """
+        payload = dict(request or {})
+        payload["dst"] = dst
+        payload["op"] = op
+        channel = self._channel_for(src, dst)
+        response = yield from channel.rpc(payload, req_size=req_size, src=src)
+        if response["status"] == "unsupported":
+            raise LookupError(f"{dst} does not support MigrRDMA op {op!r}")
+        return response["result"]
+
+    def call_local_or_remote(self, src: str, dst: str, op: str,
+                             request: Optional[dict] = None, req_size: int = RESOLVE_REQ_BYTES):
+        """Generator: like :meth:`call` but short-circuits same-server calls
+        (a shared-memory read, not a network round trip)."""
+        if src == dst:
+            handlers = self._services.get(dst, {})
+            if op not in handlers:
+                raise LookupError(f"{dst} does not support MigrRDMA op {op!r}")
+            yield self.sim.timeout(0)  # still asynchronous, but free
+            return handlers[op](dict(request or {}, dst=dst, op=op))
+        result = yield from self.call(src, dst, op, request, req_size)
+        return result

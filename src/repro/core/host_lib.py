@@ -1,0 +1,219 @@
+"""MigrRDMA Host Lib: the ``ibv_restore_*`` APIs (Table 3).
+
+CRIU (through the MigrRDMA plugin) calls these on the migration
+destination to replay the logged control path.  Restoration builds a
+:class:`RestorePlan` — new physical resources plus the translation-table
+updates that will make them look identical to the originals — without
+touching the live state the *source* is still using.  The plan is applied
+atomically at switchover time (after the final freeze), which is what lets
+pre-setup run concurrently with the still-running service.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster import AppProcess
+from repro.core.indirection import IndirectionLayer, ProcessRdmaState
+from repro.core.records import ResourceRecord
+from repro.rnic import QPState, QPType
+from repro.rnic.mr import MemoryWindow
+
+
+class RestorePlan:
+    """Everything staged for one process's RDMA restoration."""
+
+    def __init__(self, state: ProcessRdmaState, dest_process: AppProcess):
+        self.state = state
+        self.dest_process = dest_process
+        #: rid -> new NIC-side object on the destination
+        self.resources: Dict[int, object] = {}
+        #: staged dense-table updates, applied at switchover
+        self.lkey_updates: Dict[int, int] = {}
+        self.rkey_updates: Dict[int, int] = {}
+        #: records whose MR registration was deferred (restorer conflict)
+        self.deferred: List[ResourceRecord] = []
+        #: (remote_node, old_remote_pqpn) -> qp record rid, for the
+        #: partner-initiated pre-setup exchange
+        self.exchange_index: Dict[Tuple[str, int], int] = {}
+        #: rids of QPs already connected (exchange done)
+        self.connected: set = set()
+
+    def is_restored(self, rid: int) -> bool:
+        return rid in self.resources
+
+
+class HostLib:
+    """Restore-side API bound to the destination's indirection layer."""
+
+    def __init__(self, layer: IndirectionLayer):
+        self.layer = layer
+        self.sim = layer.sim
+        self.rnic = layer.rnic
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+
+    def restore_process(self, state: ProcessRdmaState, dest_process: AppProcess,
+                        defer_conflict=None):
+        """Generator: replay the creation log onto the destination NIC.
+
+        ``defer_conflict(record) -> bool`` marks MRs that cannot be
+        registered yet (their memory conflicts with the restorer, §3.2);
+        they are recorded in the plan and registered by
+        :meth:`restore_deferred` during stop-and-copy.
+        Returns the :class:`RestorePlan`.
+        """
+        plan = RestorePlan(state, dest_process)
+        for record in state.log.in_creation_order():
+            yield from self.restore_record(plan, record, defer_conflict)
+        return plan
+
+    def restore_record(self, plan: RestorePlan, record: ResourceRecord,
+                       defer_conflict=None):
+        """Generator: replay a single record (ibv_restore_<kind>)."""
+        if plan.is_restored(record.rid):
+            return
+        handler = getattr(self, f"_restore_{record.kind}")
+        if record.kind == "mr" and defer_conflict is not None and defer_conflict(record):
+            plan.deferred.append(record)
+            plan.state.deferred_mr_rids.add(record.rid)
+            return
+        yield from handler(plan, record)
+
+    # -- per-kind restore (the Table 3 APIs) ----------------------------------
+
+    def _restore_pd(self, plan: RestorePlan, record: ResourceRecord):
+        pd = yield from self.rnic.alloc_pd()
+        plan.resources[record.rid] = pd
+
+    def _restore_channel(self, plan: RestorePlan, record: ResourceRecord):
+        channel = yield from self.rnic.create_comp_channel()
+        plan.resources[record.rid] = channel
+
+    def _restore_cq(self, plan: RestorePlan, record: ResourceRecord):
+        channel_rid = record.args.get("channel_rid")
+        channel = plan.resources[channel_rid] if channel_rid is not None else None
+        cq = yield from self.rnic.create_cq(record.args["depth"], channel)
+        plan.resources[record.rid] = cq
+
+    def _restore_srq(self, plan: RestorePlan, record: ResourceRecord):
+        srq = yield from self.rnic.create_srq(
+            plan.resources[record.args["pd_rid"]], record.args["max_wr"])
+        plan.resources[record.rid] = srq
+
+    def _restore_mr(self, plan: RestorePlan, record: ResourceRecord):
+        """Register the MR at the application's *original* virtual address —
+        possible because the plugin pinned its memory there (§3.2)."""
+        args = record.args
+        mr = yield from self.rnic.reg_mr(
+            plan.resources[args["pd_rid"]], plan.dest_process.space,
+            args["addr"], args["length"], args["access"],
+            on_chip=args.get("on_chip", False))
+        plan.resources[record.rid] = mr
+        plan.lkey_updates[args["vlkey"]] = mr.lkey
+        plan.rkey_updates[args["vrkey"]] = mr.rkey
+
+    def _restore_dm(self, plan: RestorePlan, record: ResourceRecord):
+        """Allocate same-size on-chip memory; the mapping at the original
+        virtual address is the (pinned/mremapped) VMA CRIU restored (§3.3)."""
+        dm = yield from self.rnic.alloc_dm(record.args["length"])
+        dm.mapped_addr = record.args["mapped_addr"]
+        plan.resources[record.rid] = dm
+
+    def _restore_mw(self, plan: RestorePlan, record: ResourceRecord):
+        mw = yield from self.rnic.alloc_mw(plan.resources[record.args["pd_rid"]])
+        plan.resources[record.rid] = mw
+        if record.args.get("bound"):
+            mr_rid = record.args["mr_rid"]
+            if mr_rid in plan.resources:
+                yield from self._rebind_mw(plan, record, mw)
+            # else: underlying MR deferred; the bind happens after it.
+
+    def _rebind_mw(self, plan: RestorePlan, record: ResourceRecord, mw: MemoryWindow):
+        yield self.sim.timeout(self.rnic.config.rnic.alloc_mw_s)
+        mr = plan.resources[record.args["mr_rid"]]
+        rkey = self.rnic._keys.allocate()
+        mw.bind(mr, record.args["addr"], record.args["length"],
+                record.args["bind_access"], rkey)
+        self.rnic.mws_by_rkey[rkey] = mw
+        plan.rkey_updates[record.args["vrkey"]] = rkey
+
+    def _restore_qp(self, plan: RestorePlan, record: ResourceRecord):
+        """Create the replacement QP (ibv_restore_qp).  Connection happens
+        later via the partner-initiated exchange; UD and unconnected QPs are
+        brought to their recorded state immediately."""
+        args = record.args
+        srq = plan.resources[args["srq_rid"]] if args["srq_rid"] is not None else None
+        qp = yield from self.rnic.create_qp(
+            plan.resources[args["pd_rid"]], args["qp_type"],
+            plan.resources[args["send_cq_rid"]], plan.resources[args["recv_cq_rid"]],
+            args["max_send_wr"], args["max_recv_wr"], srq=srq,
+            max_rd_atomic=args.get("max_rd_atomic", 16),
+            max_inline_data=args.get("max_inline_data", 220))
+        plan.resources[record.rid] = qp
+        # The new physical QPN maps to the original virtual QPN (§3.3).
+        self.layer.qpn_table.set(qp.qpn, args["vqpn"])
+        self.layer.vqpn_index[args["vqpn"]] = (plan.state.pid, plan.state.service_id)
+
+        conn = args.get("conn")
+        recorded_state = args.get("state", "RESET")
+        if conn is not None and conn.remote_node is not None:
+            plan.exchange_index[(conn.remote_node, conn.remote_pqpn)] = record.rid
+        elif recorded_state in ("INIT", "RTR", "RTS"):
+            yield from self.rnic.modify_qp(qp, QPState.INIT)
+            if args["qp_type"] is QPType.UD and recorded_state in ("RTR", "RTS"):
+                yield from self.rnic.modify_qp(qp, QPState.RTR)
+                if recorded_state == "RTS":
+                    yield from self.rnic.modify_qp(qp, QPState.RTS)
+
+    # ------------------------------------------------------------------
+    # Exchange + deferred work
+    # ------------------------------------------------------------------
+
+    def connect_restored_qp(self, plan: RestorePlan, rid: int,
+                            partner_node: str, new_partner_pqpn: int):
+        """Generator: bring a restored RC QP to RTS toward the partner's
+        newly created QP (the dest half of the pre-setup exchange)."""
+        qp = plan.resources[rid]
+        record = plan.state.log.get(rid)
+        yield from self.rnic.modify_qp(qp, QPState.INIT)
+        yield from self.rnic.modify_qp(qp, QPState.RTR, partner_node, new_partner_pqpn)
+        yield from self.rnic.modify_qp(qp, QPState.RTS)
+        record.args["conn"].remote_pqpn = new_partner_pqpn
+        plan.connected.add(rid)
+
+    def restore_deferred(self, plan: RestorePlan):
+        """Generator: register the restorer-conflicting MRs (stop-and-copy,
+        after the restorer released its memory) and any dependent binds."""
+        deferred, plan.deferred = plan.deferred, []
+        for record in deferred:
+            yield from self._restore_mr(plan, record)
+            plan.state.deferred_mr_rids.discard(record.rid)
+        # Re-run MW binds that waited on deferred MRs.
+        for record in plan.state.log.of_kind("mw"):
+            if record.args.get("bound") and record.rid in plan.resources:
+                mw = plan.resources[record.rid]
+                if not mw.bound and record.args["mr_rid"] in plan.resources:
+                    yield from self._rebind_mw(plan, record, mw)
+
+    # ------------------------------------------------------------------
+    # Switchover
+    # ------------------------------------------------------------------
+
+    def apply_plan(self, plan: RestorePlan) -> None:
+        """Atomically point the live state at the restored resources.
+
+        Runs after the final freeze: the source no longer touches the
+        tables, so updating them in place is safe — and the guest lib's
+        wrappers (stable rids, stable virtual keys) need no change at all.
+        """
+        state = plan.state
+        state.resources.update(plan.resources)
+        for vkey, physical in plan.lkey_updates.items():
+            state.lkey_table.update(vkey, physical)
+        for vkey, physical in plan.rkey_updates.items():
+            state.rkey_table.update(vkey, physical)
+        plan.lkey_updates.clear()
+        plan.rkey_updates.clear()

@@ -1,0 +1,322 @@
+"""End-to-end live migration (Figure 2b).
+
+:class:`LiveMigration` is the cloud manager's view: it drives runc/CRIU,
+the MigrRDMA plugin and the partner agents through the full workflow —
+
+pre-copy (memory + RDMA pre-dump, partial restore with RDMA pre-setup,
+partner notification, iterative dirty-page shipping) → wait-before-stop →
+stop-and-copy (freeze, DumpRDMA/DumpOthers/Transfer, final restore, partner
+switchover, WR replay) → resume on the destination → source reclamation —
+
+and produces a :class:`MigrationReport` with the Figure 3 blackout
+breakdown, the WBS elapsed time (Figure 4) and the timeline marks Figure 5
+plots against.
+
+With ``presetup=False`` it degenerates into the comparison workflow of §4:
+a single RDMA dump at stop-and-copy and full RDMA restoration during the
+blackout (the RestoreRDMA phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster import Container, Server
+from repro.core.plugin import MigrRdmaPlugin
+from repro.core.world import MigrRdmaWorld
+from repro.metrics import BlackoutBreakdown, PhaseTimer
+from repro.migration import CriuEngine, Runc
+
+#: Poll interval for cross-server status checks during migration.
+STATUS_POLL_S = 50e-6
+
+
+@dataclass
+class MigrationReport:
+    """Everything the evaluation section measures about one migration."""
+
+    presetup: bool = True
+    breakdown: BlackoutBreakdown = field(default_factory=BlackoutBreakdown)
+    t_start: float = 0.0
+    t_presetup_done: float = 0.0
+    t_suspend: float = 0.0
+    t_freeze: float = 0.0
+    t_resume: float = 0.0
+    t_end: float = 0.0
+    #: Longest per-process wait-before-stop thread duration (what §5.4
+    #: reports): suspension-flag observation to drain completion.
+    wbs_elapsed_s: float = 0.0
+    #: Wall window including cross-server suspend/ack coordination.
+    wbs_wall_s: float = 0.0
+    wbs_timed_out: bool = False
+    precopy_iterations: int = 0
+    bytes_transferred: int = 0
+    aborted: bool = False
+
+    @property
+    def blackout_s(self) -> float:
+        """Service blackout: freeze → resume."""
+        return self.t_resume - self.t_freeze
+
+    @property
+    def communication_blackout_s(self) -> float:
+        """Suspension of communication → resume (includes WBS, §6)."""
+        return self.t_resume - self.t_suspend
+
+    @property
+    def total_s(self) -> float:
+        return self.t_end - self.t_start
+
+
+class LiveMigration:
+    """One migration of one container."""
+
+    def __init__(self, world: MigrRdmaWorld, container: Container, dest: Server,
+                 presetup: bool = True,
+                 precopy_iterations: Optional[int] = None):
+        self.world = world
+        self.tb = world.tb
+        self.sim = world.sim
+        self.container = container
+        self.source = container.server
+        self.dest = dest
+        self.presetup = presetup
+        self.config = self.tb.config
+        self.precopy_iterations = (
+            precopy_iterations if precopy_iterations is not None
+            else self.config.migration.precopy_max_iterations)
+        self.plugin = MigrRdmaPlugin(world, self.source, dest, presetup=presetup)
+        self.engine = CriuEngine(self.sim, self.config)
+        self.runc = Runc(self.engine, self.plugin)
+        self.report = MigrationReport(presetup=presetup)
+        self._abort_requested = False
+
+    def abort(self) -> None:
+        """Cancel the migration.  Honoured until wait-before-stop begins;
+        after that the migration is committed.  The service never notices:
+        pre-setup runs beside it, so rollback just discards the new
+        resources on the destination and the partners."""
+        self._abort_requested = True
+
+    # ------------------------------------------------------------------
+    # the workflow
+    # ------------------------------------------------------------------
+
+    def run(self):
+        """Generator: execute the migration; returns the report."""
+        report = self.report
+        report.t_start = self.sim.now
+        channel = self.tb.channel(self.source.name, self.dest.name)
+        partners = self.plugin.partner_map(self.container)
+
+        # ---- Pre-copy phase (Fig. 2b steps 1-2) --------------------------
+        image = yield from self.runc.checkpoint_rdma(self.container)
+        yield from channel.transfer(image.size_bytes, src=self.source.name)
+        report.bytes_transferred += image.size_bytes
+        session = yield from self.runc.partial_restore(image, self.dest)
+
+        if self.presetup:
+            yield from self._notify_partners(partners)
+
+        mig = self.config.migration
+        for _ in range(self.precopy_iterations):
+            if self._abort_requested:
+                break
+            if self._dirty_pages() <= mig.precopy_stop_threshold_pages:
+                break
+            diff = yield from self.runc.checkpoint_memory_only(self.container)
+            yield from channel.transfer(diff.size_bytes, src=self.source.name)
+            report.bytes_transferred += diff.size_bytes
+            yield from self.runc.apply_iteration(session, diff)
+            report.precopy_iterations += 1
+
+        if self.presetup and not self._abort_requested:
+            yield from self._wait_presetup(partners)
+        report.t_presetup_done = self.sim.now
+
+        if self._abort_requested:
+            yield from self._rollback(session, partners)
+            report.aborted = True
+            report.t_end = self.sim.now
+            return report
+
+        # ---- Wait-before-stop (step 3) ------------------------------------
+        report.t_suspend = self.sim.now
+        self._suspend_source()
+        yield from self._suspend_partners(partners)
+        yield from self._wait_wbs(partners)
+        report.wbs_wall_s = self.sim.now - report.t_suspend
+        report.wbs_elapsed_s = max(
+            (lib.wbs.last_elapsed_s for lib in self._involved_libs(partners)),
+            default=0.0)
+        report.wbs_timed_out = any(
+            lib.wbs.timed_out for lib in self._involved_libs(partners))
+
+        # ---- Stop-and-copy (steps 4-6) -------------------------------------
+        report.t_freeze = self.sim.now
+        self.runc.freeze(self.container)
+        # Final drain + incomplete-WR snapshot (no-op unless WBS timed out).
+        for lib in self._source_libs():
+            lib.capture_incomplete_for_replay()
+
+        timer = PhaseTimer(self.sim, report.breakdown, "DumpRDMA").start()
+        _diff_info, rdma_bytes = yield from self.plugin.dump_rdma_diff(self.container)
+        timer.stop()
+
+        timer = PhaseTimer(self.sim, report.breakdown, "DumpOthers").start()
+        final = yield from self.engine.checkpoint_memory(self.container, full=False)
+        yield from self.engine.checkpoint_others(self.container)
+        timer.stop()
+
+        timer = PhaseTimer(self.sim, report.breakdown, "Transfer").start()
+        yield from channel.transfer(final.size_bytes + rdma_bytes, src=self.source.name)
+        report.bytes_transferred += final.size_bytes + rdma_bytes
+        timer.stop()
+
+        old_resources = self.plugin.snapshot_source_resources(self.container)
+
+        if self.presetup:
+            # Partner switchover proceeds concurrently with the final restore.
+            switch = self.sim.spawn(self._switch_partners(partners),
+                                    name="partner-switchover")
+            timer = PhaseTimer(self.sim, report.breakdown, "FullRestore").start()
+            yield from self.runc.apply_iteration(session, final)
+            yield from self.runc.full_restore(session)  # plugin.post_restore inside
+            yield switch
+            timer.stop()
+        else:
+            timer = PhaseTimer(self.sim, report.breakdown, "FullRestore").start()
+            yield from self.runc.apply_iteration(session, final)
+            yield from self.runc.full_restore(session)
+            timer.stop()
+            timer = PhaseTimer(self.sim, report.breakdown, "RestoreRDMA").start()
+            yield from self.plugin.restore_rdma_full(session)
+            yield from self._notify_partners(partners)
+            yield from self._wait_presetup(partners)
+            yield from self.plugin.finalize_restore(session)
+            yield from self._switch_partners(partners)
+            timer.stop()
+
+        # ---- Resume (step 7) ---------------------------------------------------
+        restored = self.runc.exec_restore(session)
+        self._resume_apps(session, restored)
+        report.t_resume = self.sim.now
+
+        # ---- Source reclamation (off the critical path) ------------------------
+        self.source.remove_container(self.container.name)
+        yield from self.plugin.cleanup_source(old_resources)
+        report.t_end = self.sim.now
+        return report
+
+    def _rollback(self, session, partners: Dict[str, List[int]]):
+        """Discard the destination-side pre-setup and tell partners to drop
+        their replacement QPs; the source keeps running untouched."""
+        for node in partners:
+            yield from self.world.control.call(
+                self.source.name, node, "cancel_presetup",
+                {"service_id": self.container.container_id})
+        yield from self.plugin.rollback(session)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _dirty_pages(self) -> int:
+        from repro.config import PAGE_SIZE
+
+        real = sum(p.space.dirty_page_count() for p in self.container.processes)
+        synthetic = sum(p.synthetic_dirty_estimate(self.sim.now)
+                        for p in self.container.processes)
+        return real + synthetic // PAGE_SIZE
+
+    def _source_libs(self):
+        libs = []
+        for process in self.container.processes:
+            lib = self.world.lib_for_pid(process.pid)
+            if lib is not None:
+                libs.append(lib)
+        return libs
+
+    def _involved_libs(self, partners: Dict[str, List[int]]):
+        """Source libs plus every partner lib with QPs to this service."""
+        libs = self._source_libs()
+        service_id = self.container.container_id
+        for node in partners:
+            for lib in self.world.libs_on(node):
+                if lib.qps_talking_to(service_id):
+                    libs.append(lib)
+        return libs
+
+    def _notify_partners(self, partners: Dict[str, List[int]]):
+        from repro.core.control import NOTIFY_BASE_BYTES, NOTIFY_PER_QP_BYTES
+
+        for node, pqpns in partners.items():
+            yield from self.world.control.call(
+                self.source.name, node, "migrate_notify",
+                {"service_id": self.container.container_id, "dest": self.dest.name,
+                 "partner_pqpns": pqpns},
+                req_size=NOTIFY_BASE_BYTES + NOTIFY_PER_QP_BYTES * len(pqpns))
+
+    def _wait_presetup(self, partners: Dict[str, List[int]]):
+        """Partner pre-setup and destination-side exchange both complete."""
+        for node in partners:
+            while True:
+                status = yield from self.world.control.call(
+                    self.source.name, node, "presetup_status",
+                    {"service_id": self.container.container_id})
+                if status["done"]:
+                    break
+                yield self.sim.timeout(STATUS_POLL_S)
+        agent = self.world.agent(self.dest.name)
+        while not agent.plans_fully_connected(self.container.container_id):
+            yield self.sim.timeout(STATUS_POLL_S)
+
+    def _suspend_source(self) -> None:
+        layer = self.world.layer(self.source.name)
+        for process in self.container.processes:
+            if process.pid in layer.processes:
+                lib = self.world.lib_for_pid(process.pid)
+                if lib is not None:
+                    lib.wbs.reset()
+                layer.raise_suspension(process.pid)
+
+    def _suspend_partners(self, partners: Dict[str, List[int]]):
+        for node in partners:
+            yield from self.world.control.call(
+                self.source.name, node, "suspend_for_service",
+                {"service_id": self.container.container_id})
+
+    def _wait_wbs(self, partners: Dict[str, List[int]]):
+        for lib in self._source_libs():
+            if not lib.wbs.complete:
+                yield lib.wbs.done.wait()
+        for node in partners:
+            while True:
+                status = yield from self.world.control.call(
+                    self.source.name, node, "wbs_status",
+                    {"service_id": self.container.container_id})
+                if status["done"]:
+                    break
+                yield self.sim.timeout(STATUS_POLL_S)
+
+    def _switch_partners(self, partners: Dict[str, List[int]]):
+        for node in partners:
+            yield from self.world.control.call(
+                self.source.name, node, "switchover_for_service",
+                {"service_id": self.container.container_id, "dest": self.dest.name})
+        for node in partners:
+            while True:
+                status = yield from self.world.control.call(
+                    self.source.name, node, "switchover_status",
+                    {"service_id": self.container.container_id})
+                if status["done"]:
+                    break
+                yield self.sim.timeout(STATUS_POLL_S)
+
+    def _resume_apps(self, session, restored: Container) -> None:
+        """Re-attach application objects to their restored processes."""
+        for app in restored.apps:
+            handler = getattr(app, "on_migrated", None)
+            if handler is not None:
+                handler(session, restored)

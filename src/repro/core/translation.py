@@ -1,0 +1,203 @@
+"""Translation tables: the heart of MigrRDMA's state virtualization (§3.3).
+
+Four kinds of state need translating (Table 1); the data structures here
+cover the two "not virtualized by the NIC" rows:
+
+- :class:`QpnTable` — physical→virtual QPN.  The paper maintains a 2^24
+  array indexed by physical QPN, shared read-only with every process.  A
+  Python list of 16M entries would be gratuitous; the class keeps array
+  *semantics* (one slot per physical QPN, O(1) lookup) in a dict and the
+  benchmarks measure a real list-backed variant
+  (:class:`DenseArrayTable`) for the data-structure claim.
+- :class:`LkeyTable` — virtual→physical access keys, assigned densely
+  ("one by one") so the table is a true array indexed by virtual key.
+  Tables are per-process (the process id is part of the key space), which
+  is the paper's defence against forged virtual keys.
+- :class:`RkeyCache` — the partner-side cache of remote virtual→physical
+  rkeys and QPNs, invalidated by the migration source during migration and
+  refilled by fetching from the migration destination (§3.3, fourth row).
+- :class:`LinkedListTable` — the LubeRDMA-style move-to-front linked list
+  (§6), implemented for the comparison benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import QPN_SPACE
+
+
+class QpnTable:
+    """Physical→virtual QPN translation (one table per RNIC/server)."""
+
+    def __init__(self):
+        self._table: Dict[int, int] = {}
+
+    def set(self, physical: int, virtual: int) -> None:
+        if not 0 <= physical < QPN_SPACE:
+            raise ValueError(f"physical QPN {physical:#x} outside 24-bit space")
+        self._table[physical] = virtual
+
+    def lookup(self, physical: int) -> int:
+        try:
+            return self._table[physical]
+        except KeyError:
+            raise LookupError(f"no virtual QPN for physical {physical:#x}") from None
+
+    def lookup_or_identity(self, physical: int) -> int:
+        return self._table.get(physical, physical)
+
+    def delete(self, physical: int) -> None:
+        self._table.pop(physical, None)
+
+    def physical_for_virtual(self, virtual: int) -> int:
+        """Reverse scan (control-path only: used at restore time)."""
+        for physical, v in self._table.items():
+            if v == virtual:
+                return physical
+        raise LookupError(f"no physical QPN maps to virtual {virtual:#x}")
+
+    def entries(self) -> List[Tuple[int, int]]:
+        return list(self._table.items())
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+class LkeyTable:
+    """Dense virtual→physical key table for one process.
+
+    Virtual keys are assigned sequentially, so the table is an array and a
+    lookup is one index operation — the design §3.3 argues beats
+    LubeRDMA's linked list.
+    """
+
+    def __init__(self):
+        self._physical: List[Optional[int]] = []
+
+    def allocate(self, physical: int) -> int:
+        """Assign the next virtual key to ``physical``; returns the vkey."""
+        self._physical.append(physical)
+        return len(self._physical) - 1
+
+    def lookup(self, vkey: int) -> int:
+        try:
+            physical = self._physical[vkey]
+        except IndexError:
+            raise LookupError(f"virtual key {vkey} was never assigned") from None
+        if physical is None:
+            raise LookupError(f"virtual key {vkey} has been released")
+        return physical
+
+    def update(self, vkey: int, new_physical: int) -> None:
+        """Point an existing virtual key at the restored physical key."""
+        self.lookup(vkey)  # validates
+        self._physical[vkey] = new_physical
+
+    def release(self, vkey: int) -> None:
+        if 0 <= vkey < len(self._physical):
+            self._physical[vkey] = None
+
+    def __len__(self) -> int:
+        return sum(1 for p in self._physical if p is not None)
+
+
+class DenseArrayTable:
+    """A genuinely list-backed v→p table for the microbenchmarks."""
+
+    __slots__ = ("_slots",)
+
+    def __init__(self):
+        self._slots: List[int] = []
+
+    def insert(self, physical: int) -> int:
+        self._slots.append(physical)
+        return len(self._slots) - 1
+
+    def lookup(self, vkey: int) -> int:
+        return self._slots[vkey]
+
+
+class LinkedListTable:
+    """LubeRDMA-style translation: a linked list searched front to back,
+    with the found node moved to the head (§6's description).  Lookup cost
+    grows with the working set when the application touches many MRs."""
+
+    __slots__ = ("_head", "nodes_visited")
+
+    class _Node:
+        __slots__ = ("vkey", "physical", "next")
+
+        def __init__(self, vkey: int, physical: int, nxt):
+            self.vkey = vkey
+            self.physical = physical
+            self.next = nxt
+
+    def __init__(self):
+        self._head = None
+        self.nodes_visited = 0  # instrumentation for the cycle model
+
+    def insert(self, vkey: int, physical: int) -> None:
+        self._head = self._Node(vkey, physical, self._head)
+
+    def lookup(self, vkey: int) -> int:
+        node = self._head
+        prev = None
+        visited = 0
+        while node is not None:
+            visited += 1
+            if node.vkey == vkey:
+                self.nodes_visited += visited
+                if prev is not None:  # move to front
+                    prev.next = node.next
+                    node.next = self._head
+                    self._head = node
+                return node.physical
+            prev, node = node, node.next
+        self.nodes_visited += visited
+        raise LookupError(f"virtual key {vkey} not in linked list")
+
+
+class RkeyCache:
+    """Partner-side cache of remote virtual→physical translations.
+
+    Keys are ``(service_id, virtual_value)``; a miss requires a network
+    fetch from the remote indirection layer (amortized over subsequent
+    lookups, §3.3).  The migration source invalidates every partner's
+    entries for the migrated service during migration.
+    """
+
+    def __init__(self):
+        self._cache: Dict[Tuple[str, str, int], int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def peek(self, service_id: str, kind: str, virtual: int) -> Optional[int]:
+        """Lookup without touching the hit/miss statistics (internal use)."""
+        return self._cache.get((service_id, kind, virtual))
+
+    def get(self, service_id: str, kind: str, virtual: int) -> Optional[int]:
+        value = self._cache.get((service_id, kind, virtual))
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, service_id: str, kind: str, virtual: int, physical: int) -> None:
+        self._cache[(service_id, kind, virtual)] = physical
+
+    def invalidate_service(self, service_id: str) -> int:
+        """Drop every entry for a migrated service; returns entries removed."""
+        return len(self.invalidate_service_keys(service_id))
+
+    def invalidate_service_keys(self, service_id: str):
+        """Like :meth:`invalidate_service` but returns the removed
+        ``(kind, virtual)`` pairs — the working set a prefetch can re-warm."""
+        stale = [k for k in self._cache if k[0] == service_id]
+        for key in stale:
+            del self._cache[key]
+        return [(kind, virtual) for _sid, kind, virtual in stale]
+
+    def __len__(self) -> int:
+        return len(self._cache)

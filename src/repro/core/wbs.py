@@ -1,0 +1,188 @@
+"""Wait-before-stop (§3.4).
+
+Each process's guest lib spawns one WBS thread at load time.  The thread
+sleeps on the indirection layer's suspension signal; when the MigrRDMA
+plugin raises the suspension flags, the thread:
+
+1. sends ``n_sent`` (two-sided verbs posted since QP creation) to the peer
+   of every suspended QP, so the peer can decide when its receive queue has
+   drained,
+2. keeps polling all the process's CQs — stashing every entry into the
+   per-CQ **fake CQ** so the application continues consuming completions
+   (just a little later than usual) while its own threads keep computing,
+3. terminates when, for every suspended QP, the send queue window
+   (head−tail) is empty, the peer's ``n_sent`` has been matched by local
+   receive completions, and no CQ events are outstanding — or when the
+   spotty-network upper bound expires, in which case the not-yet-completed
+   WRs are recorded for post-restore replay.
+
+The polling loop charges real CPU cycles and converts them to simulated
+time, which is what makes small-message WBS CPU-bound (the 6×-theory point
+in Figure 4b).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.sim import Broadcast, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.guest_lib import MigrRdmaGuestLib, VirtQP
+
+#: CQ entries drained per polling iteration of the WBS thread.
+POLL_BATCH = 16
+
+#: Cycle cost of one WBS polling iteration (poll + window checks).
+WBS_ITERATION_CYCLES = 220.0
+
+#: One-time cost of entering wait-before-stop: thread wakeup, scanning the
+#: suspension flags and QP table, snapshotting CQ handles.  Dominates when
+#: the inflight volume is small — the reason Figure 4(b)'s 512 B point
+#: measures ~6x the wire-drain theory.
+WBS_ENTRY_CYCLES = 17000.0
+
+#: Per-CQE handling cost inside the WBS drain (poll, translate, bookkeep).
+WBS_PER_CQE_CYCLES = 90.0
+
+
+class WaitBeforeStop:
+    """The per-process wait-before-stop thread."""
+
+    def __init__(self, lib: "MigrRdmaGuestLib"):
+        self.lib = lib
+        self.sim = lib.sim
+        self.done = Broadcast(self.sim, sticky=True)
+        self.last_elapsed_s = 0.0
+        self.timed_out = False
+        self._thread = self.sim.spawn(self._run(), name=f"wbs:{lib.process.pid}")
+
+    # -- public state ---------------------------------------------------------
+
+    @property
+    def complete(self) -> bool:
+        return self.done.fired
+
+    def reset(self) -> None:
+        self.done.reset()
+        self.timed_out = False
+
+    # -- the thread ---------------------------------------------------------
+
+    def _run(self):
+        state = self.lib.state
+        try:
+            while True:
+                yield state.suspend_signal.wait()
+                if self.done.fired:
+                    continue
+                suspended = self.lib.suspended_vqps()
+                if not suspended:
+                    # Nothing to drain (e.g. a process without live QPs):
+                    # wait-before-stop completes immediately.
+                    self.done.fire(0.0)
+                    continue
+                started = self.sim.now
+                yield from self._drain(suspended)
+                self.last_elapsed_s = self.sim.now - started
+                self.lib.build_temp_qpn_map()
+                self.done.fire(self.last_elapsed_s)
+        except Interrupt:
+            return
+
+    def _notify_n_sent(self, suspended: List["VirtQP"]):
+        """Tell each peer how many two-sided verbs we posted to it (§3.4)."""
+        for vqp in suspended:
+            phys = vqp._phys
+            if phys.n_sent_two_sided == 0 or vqp.remote_node is None:
+                continue
+            if vqp.passthrough or vqp.remote_vqpn is None:
+                continue
+            yield from self.lib.control.call_local_or_remote(
+                self.lib.node_name, vqp.remote_node, "record_n_sent",
+                {"vqpn": vqp.remote_vqpn, "n_sent": phys.n_sent_two_sided})
+
+    def _drain(self, suspended: List["VirtQP"]):
+        config = self.lib.process.cpu.config
+        timeout_s = self.lib.layer.server.config.migration.wbs_timeout_s
+        deadline = self.sim.now + timeout_s
+        yield self.sim.timeout(WBS_ENTRY_CYCLES / config.clock_hz)
+        yield from self._notify_n_sent(suspended)
+        while True:
+            drained = self._poll_all_into_fakes()
+            if self._finished(suspended):
+                return
+            if self.sim.now >= deadline:
+                self._record_timeout(suspended)
+                return
+            # One polling iteration costs CPU (plus per-CQE handling);
+            # idle-wait a bit longer when nothing arrived so an empty wire
+            # does not spin the ledger.
+            cpu_s = (WBS_ITERATION_CYCLES + drained * WBS_PER_CQE_CYCLES) / config.clock_hz
+            yield self.sim.timeout(cpu_s if drained else max(cpu_s, 2e-6))
+
+    def _poll_all_into_fakes(self) -> int:
+        drained = 0
+        for vcq in self.lib.virt_cqs:
+            if vcq.uses_events:
+                # Interrupt-mode CQs are consumed by the application when
+                # notified; WBS only waits for the event count (§3.4).
+                continue
+            while True:
+                wcs = self.lib.poll_real(vcq, POLL_BATCH)
+                if not wcs:
+                    break
+                drained += len(wcs)
+                vcq.fake.extend(wcs)
+        return drained
+
+    def _finished(self, suspended: List["VirtQP"]) -> bool:
+        if self.lib.unfinished_cq_events > 0:
+            return False
+        state = self.lib.state
+        for vqp in suspended:
+            phys = vqp._phys
+            if phys.send_inflight > 0:
+                return False
+            expected = state.expected_n_sent.get(vqp.vqpn)
+            if expected is not None and phys.n_recv_completed < expected:
+                return False
+        # Everything completed; make sure the completions were drained too.
+        for vcq in self.lib.virt_cqs:
+            if not vcq.uses_events and len(vcq._phys) > 0:
+                return False
+        return True
+
+    def _record_timeout(self, suspended: List["VirtQP"]) -> None:
+        """Spotty network: give up waiting.  The incomplete-WR snapshot is
+        taken later (at freeze / switchover) by
+        :meth:`~repro.core.guest_lib.MigrRdmaGuestLib.capture_incomplete_for_replay`,
+        because WRs may still complete between now and the final stop."""
+        self.timed_out = True
+
+    def _unvirtualize(self, vqp: "VirtQP", wrs) -> list:
+        """Physical WRs back to virtual form so replay can re-translate.
+
+        The lib keeps the virtual originals only for intercepted WRs;
+        for inflight ones we reverse-map lkeys/rkeys via the tables.
+        """
+        from repro.rnic.wr import clone_send_wr
+
+        out = []
+        lkey_table = self.lib.state.lkey_table
+        reverse = {}
+        for vkey in range(len(lkey_table._physical)):
+            physical = lkey_table._physical[vkey]
+            if physical is not None:
+                reverse[physical] = vkey
+        for wr in wrs:
+            virtual = clone_send_wr(wr)
+            for sge in virtual.sges:
+                sge.lkey = reverse.get(sge.lkey, sge.lkey)
+            if virtual.opcode.is_one_sided and not vqp.passthrough:
+                for (service, kind, vrkey), phys in list(self.lib.rkey_cache._cache.items()):
+                    if kind == "rkey" and phys == virtual.rkey:
+                        virtual.rkey = vrkey
+                        break
+            out.append(virtual)
+        return out

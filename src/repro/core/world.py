@@ -1,0 +1,322 @@
+"""World wiring: per-server MigrRDMA daemons and the partner agent.
+
+:class:`MigrRdmaWorld` installs an indirection layer on every server and a
+:class:`PartnerAgent` that serves the migration-time control-plane
+operations a server needs *even when it is not the one migrating*:
+
+- acting on a migration notification (create new QPs toward the migration
+  destination during the source's pre-copy, §3.2),
+- answering the destination's pre-setup exchange,
+- suspending the QPs connected to a migrating service and running
+  wait-before-stop on them (§3.4),
+- switching its virtual QPs over to the new physical QPs and replaying
+  buffered WRs once the migrated service is restored.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster import AppProcess, Container, Server, Testbed
+from repro.core.control import ControlPlane
+from repro.core.guest_lib import MigrRdmaGuestLib, VirtQP
+from repro.core.host_lib import HostLib, RestorePlan
+from repro.core.indirection import IndirectionLayer
+from repro.core.records import QpConnectionMeta
+from repro.rnic import QPState
+
+
+class PartnerAgent:
+    """Per-server MigrRDMA daemon for partner/destination duties."""
+
+    def __init__(self, world: "MigrRdmaWorld", server: Server):
+        self.world = world
+        self.server = server
+        self.sim = server.sim
+        self.layer = world.layer(server.name)
+        self.host_lib = HostLib(self.layer)
+
+        #: service_id -> restore plans registered while this server is the
+        #: migration destination (filled by the MigrRDMA plugin).
+        self.pending_plans: Dict[str, List[RestorePlan]] = {}
+        #: service_id -> [(lib, vqp, new_qp)] awaiting switchover
+        self.pending_switch: Dict[str, List[Tuple[MigrRdmaGuestLib, VirtQP, object]]] = {}
+        self.presetup_done: Dict[str, bool] = {}
+        self.switchover_done: Dict[str, bool] = {}
+        #: services whose pre-setup was cancelled (aborted migration)
+        self.cancelled: set = set()
+        #: service_id -> pids whose QPs were suspended for that migration
+        self.suspended_pids: Dict[str, List[int]] = {}
+
+        control = world.control
+        name = server.name
+        control.register(name, "migrate_notify", self._op_migrate_notify)
+        control.register(name, "presetup_status", self._op_presetup_status)
+        control.register(name, "presetup_exchange", self._op_presetup_exchange)
+        control.register(name, "suspend_for_service", self._op_suspend)
+        control.register(name, "wbs_status", self._op_wbs_status)
+        control.register(name, "switchover_for_service", self._op_switchover)
+        control.register(name, "switchover_status", self._op_switchover_status)
+        control.register(name, "cancel_presetup", self._op_cancel_presetup)
+
+    # ------------------------------------------------------------------
+    # destination-side plan registry
+    # ------------------------------------------------------------------
+
+    def register_plan(self, service_id: str, plan: RestorePlan) -> None:
+        self.pending_plans.setdefault(service_id, []).append(plan)
+
+    def plans_fully_connected(self, service_id: str) -> bool:
+        plans = self.pending_plans.get(service_id, [])
+        return all(set(p.exchange_index.values()) <= p.connected for p in plans)
+
+    # ------------------------------------------------------------------
+    # partner-side pre-setup
+    # ------------------------------------------------------------------
+
+    def _find_by_pqpn(self, pqpn: int) -> Optional[Tuple[MigrRdmaGuestLib, VirtQP]]:
+        for lib in self.world.libs_on(self.server.name):
+            for vqp in lib.virt_qps.values():
+                phys = lib.state.resources.get(vqp.rid)
+                if phys is not None and getattr(phys, "qpn", None) == pqpn:
+                    return lib, vqp
+        return None
+
+    def _op_migrate_notify(self, request: dict):
+        """Source → partner: service is migrating to ``dest``; create new
+        QPs for each of my listed physical QPNs (§3.2)."""
+        service_id = request["service_id"]
+        self.cancelled.discard(service_id)
+        self.presetup_done[service_id] = False
+        # Invalidate every cached rkey/QPN of the migrated service (§3.3).
+        for lib in self.world.libs_on(self.server.name):
+            lib.rkey_cache.invalidate_service(service_id)
+        self.sim.spawn(
+            self._presetup(service_id, request["dest"], request["partner_pqpns"]),
+            name=f"partner-presetup:{self.server.name}:{service_id}")
+        return {"ack": True}
+
+    def _presetup(self, service_id: str, dest: str, partner_pqpns: List[int]):
+        rnic = self.server.rnic
+        for pqpn in partner_pqpns:
+            if service_id in self.cancelled:
+                break
+            found = self._find_by_pqpn(pqpn)
+            if found is None:
+                continue
+            lib, vqp = found
+            record = lib.state.log.get(vqp.rid)
+            args = record.args
+            resources = lib.state.resources
+            srq = resources[args["srq_rid"]] if args["srq_rid"] is not None else None
+            # The new QP shares the *same CQ* (and PD/SRQ) as the old one, so
+            # completions keep flowing to the CQ the application polls (§3.2).
+            new_qp = yield from rnic.create_qp(
+                resources[args["pd_rid"]], args["qp_type"],
+                resources[args["send_cq_rid"]], resources[args["recv_cq_rid"]],
+                args["max_send_wr"], args["max_recv_wr"], srq=srq,
+                max_rd_atomic=args.get("max_rd_atomic", 16),
+                max_inline_data=args.get("max_inline_data", 220))
+            # Old pQPN and new pQPN both translate to the same vQPN (§3.4).
+            self.layer.qpn_table.set(new_qp.qpn, vqp.vqpn)
+            # Exchange new physical QPNs with the migration destination,
+            # retrying until its restored QP exists.
+            while service_id not in self.cancelled:
+                result = yield from self.world.control.call(
+                    self.server.name, dest, "presetup_exchange",
+                    {"service_id": service_id, "partner_node": self.server.name,
+                     "old_partner_pqpn": pqpn, "new_partner_pqpn": new_qp.qpn})
+                if not result.get("retry"):
+                    break
+                yield self.sim.timeout(200e-6)
+            if service_id in self.cancelled:
+                self.layer.qpn_table.delete(new_qp.qpn)
+                yield from rnic.destroy_qp(new_qp)
+                break
+            new_dest_pqpn = result["new_pqpn"]
+            yield from rnic.modify_qp(new_qp, QPState.INIT)
+            yield from rnic.modify_qp(new_qp, QPState.RTR, dest, new_dest_pqpn)
+            yield from rnic.modify_qp(new_qp, QPState.RTS)
+            self.pending_switch.setdefault(service_id, []).append((lib, vqp, new_qp))
+        self.presetup_done[service_id] = True
+
+    def _op_presetup_status(self, request: dict):
+        return {"done": self.presetup_done.get(request["service_id"], False)}
+
+    def _op_presetup_exchange(self, request: dict):
+        """Destination side: a partner's new QP wants to pair up."""
+        service_id = request["service_id"]
+        key = (request["partner_node"], request["old_partner_pqpn"])
+        for plan in self.pending_plans.get(service_id, []):
+            rid = plan.exchange_index.get(key)
+            if rid is None or not plan.is_restored(rid):
+                continue
+            qp = plan.resources[rid]
+            self.sim.spawn(
+                self.host_lib.connect_restored_qp(
+                    plan, rid, request["partner_node"], request["new_partner_pqpn"]),
+                name=f"dest-connect:{qp.qpn:#x}")
+            return {"retry": False, "new_pqpn": qp.qpn}
+        return {"retry": True}
+
+    # ------------------------------------------------------------------
+    # partner-side wait-before-stop
+    # ------------------------------------------------------------------
+
+    def _op_suspend(self, request: dict):
+        """Suspend only the QPs destined for the migration source (§3.1)."""
+        service_id = request["service_id"]
+        pids = []
+        for lib in self.world.libs_on(self.server.name):
+            vqpns = {vqp.vqpn for vqp in lib.qps_talking_to(service_id)}
+            if not vqpns:
+                continue
+            lib.wbs.reset()
+            self.layer.raise_suspension(lib.state.pid, vqpns)
+            pids.append(lib.state.pid)
+        self.suspended_pids[service_id] = pids
+        return {"pids": pids}
+
+    def _op_wbs_status(self, request: dict):
+        service_id = request["service_id"]
+        pids = self.suspended_pids.get(service_id, [])
+        done = all(
+            self.world.lib_for_pid(pid).wbs.complete
+            for pid in pids
+            if self.world.lib_for_pid(pid) is not None
+        )
+        return {"done": done}
+
+    # ------------------------------------------------------------------
+    # partner-side switchover (right before Step 7, §3.2)
+    # ------------------------------------------------------------------
+
+    def _op_switchover(self, request: dict):
+        service_id = request["service_id"]
+        self.switchover_done[service_id] = False
+        self.sim.spawn(self._switchover(service_id, request["dest"]),
+                       name=f"switchover:{self.server.name}:{service_id}")
+        return {"ack": True}
+
+    def _switchover(self, service_id: str, dest: str):
+        # Drop every cached rkey/QPN of the migrated service: entries
+        # re-fetched during pre-copy still point at the source's NIC.  The
+        # first post after restoration re-fetches from the destination (§3.3),
+        # unless the batch-prefetch optimization re-warms the cache first.
+        prefetch = self.server.config.migration.rkey_prefetch
+        for lib in self.world.libs_on(self.server.name):
+            stale = lib.rkey_cache.invalidate_service_keys(service_id)
+            vrkeys = [virtual for kind, virtual in stale if kind == "rkey"]
+            if prefetch and vrkeys:
+                self.sim.spawn(self._batch_prefetch(lib, service_id, dest, vrkeys),
+                               name=f"rkey-prefetch:{self.server.name}")
+        entries = self.pending_switch.pop(service_id, [])
+        # Final drain + incomplete-WR snapshot against the *old* QPs.
+        for lib in {lib for lib, _vqp, _new in entries}:
+            lib.capture_incomplete_for_replay()
+        for lib, vqp, new_qp in entries:
+            old_qp = lib.state.resources[vqp.rid]
+            # Map the virtual QPN to the new QP (§3.2 last ¶).
+            lib.state.resources[vqp.rid] = new_qp
+            record = lib.state.log.get(vqp.rid)
+            record.args["conn"] = QpConnectionMeta(
+                remote_node=dest, remote_pqpn=new_qp.remote_qpn,
+                remote_vqpn=vqp.remote_vqpn)
+            vqp.remote_node = dest
+            lib.service_directory[service_id] = dest
+            # The old QP is fully drained (WBS) — reclaim it.
+            yield from self.server.rnic.destroy_qp(old_qp)
+            self.layer.qpn_table.delete(old_qp.qpn)
+        for pid in self.suspended_pids.pop(service_id, []):
+            self.layer.clear_suspension(pid)
+            lib = self.world.lib_for_pid(pid)
+            if lib is not None:
+                lib.wbs.reset()
+        for lib, vqp, _new_qp in entries:
+            lib.replay_after_restore(vqp)
+        self.switchover_done[service_id] = True
+
+    def _batch_prefetch(self, lib: MigrRdmaGuestLib, service_id: str, dest: str,
+                        vrkeys: List[int]):
+        """Re-warm the rkey cache from the destination in one batch RPC,
+        retrying until the restored state is resolvable there."""
+        for _attempt in range(200):
+            result = yield from self.world.control.call(
+                self.server.name, dest, "resolve_rkey_batch",
+                {"service_id": service_id, "vrkeys": vrkeys},
+                req_size=64 + 8 * len(vrkeys))
+            if result.get("found"):
+                for vrkey, physical in result["mappings"].items():
+                    lib.rkey_cache.put(service_id, "rkey", vrkey, physical)
+                lib.service_directory[service_id] = dest
+                return
+            yield self.sim.timeout(200e-6)
+
+    def _op_switchover_status(self, request: dict):
+        return {"done": self.switchover_done.get(request["service_id"], False)}
+
+    def _op_cancel_presetup(self, request: dict):
+        """Aborted migration: drop the pre-established replacement QPs and
+        keep using the originals."""
+        service_id = request["service_id"]
+        self.cancelled.add(service_id)
+        self.sim.spawn(self._cancel(service_id),
+                       name=f"cancel-presetup:{self.server.name}")
+        return {"cancelled": True}
+
+    def _cancel(self, service_id: str):
+        # Let any in-flight pre-setup notice the cancellation and finish.
+        while not self.presetup_done.get(service_id, True):
+            yield self.sim.timeout(100e-6)
+        entries = self.pending_switch.pop(service_id, [])
+        self.presetup_done.pop(service_id, None)
+        for _lib, _vqp, new_qp in entries:
+            self.layer.qpn_table.delete(new_qp.qpn)
+            yield from self.server.rnic.destroy_qp(new_qp)
+
+
+class MigrRdmaWorld:
+    """All MigrRDMA components across the testbed."""
+
+    def __init__(self, tb: Testbed, servers: Optional[List[Server]] = None):
+        self.tb = tb
+        self.sim = tb.sim
+        self.control = ControlPlane(tb)
+        self.layers: Dict[str, IndirectionLayer] = {}
+        self.agents: Dict[str, PartnerAgent] = {}
+        self._libs: Dict[str, List[MigrRdmaGuestLib]] = {}
+        self._libs_by_pid: Dict[int, MigrRdmaGuestLib] = {}
+        for server in servers if servers is not None else tb.servers:
+            self.install_server(server)
+
+    def install_server(self, server: Server) -> IndirectionLayer:
+        layer = IndirectionLayer(server, self.control)
+        self.layers[server.name] = layer
+        self.agents[server.name] = PartnerAgent(self, server)
+        self._libs.setdefault(server.name, [])
+        return layer
+
+    def layer(self, server_name: str) -> IndirectionLayer:
+        return self.layers[server_name]
+
+    def agent(self, server_name: str) -> PartnerAgent:
+        return self.agents[server_name]
+
+    def make_lib(self, process: AppProcess, container: Container) -> MigrRdmaGuestLib:
+        server = container.server
+        lib = MigrRdmaGuestLib(process, self.layer(server.name), self.control, container)
+        self._libs[server.name].append(lib)
+        self._libs_by_pid[process.pid] = lib
+        return lib
+
+    def libs_on(self, server_name: str) -> List[MigrRdmaGuestLib]:
+        return list(self._libs.get(server_name, []))
+
+    def lib_for_pid(self, pid: int) -> Optional[MigrRdmaGuestLib]:
+        return self._libs_by_pid.get(pid)
+
+    def move_lib(self, lib: MigrRdmaGuestLib, from_server: str, to_server: str) -> None:
+        """Re-home a guest lib after its container migrated."""
+        if lib in self._libs.get(from_server, []):
+            self._libs[from_server].remove(lib)
+        self._libs.setdefault(to_server, []).append(lib)

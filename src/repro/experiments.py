@@ -1,0 +1,230 @@
+"""Command-line experiment runner: regenerate paper tables without pytest.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig3 [--qps 16,64] [--migrate sender]
+    python -m repro.experiments fig4 [--sweep msgsize]
+    python -m repro.experiments fig5 [--migrate receiver]
+    python -m repro.experiments table4
+    python -m repro.experiments fig6 [--task dfsio] [--fast]
+    python -m repro.experiments migros [--qps 16,64,256]
+
+The pytest benchmarks under ``benchmarks/`` remain the canonical
+reproduction (they also assert the paper's shape claims); this runner is
+the quick way to eyeball one experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro import cluster
+from repro.apps.perftest import PerftestEndpoint, connect_endpoints
+from repro.baselines import MigrOsModel
+from repro.config import default_config
+from repro.core import LiveMigration, MigrRdmaWorld
+from repro.metrics import ThroughputSampler
+
+
+def sparkline(values: List[float], width: int = 72) -> str:
+    """Render a series as a unicode sparkline (used for Fig. 5 timelines)."""
+    if not values:
+        return ""
+    blocks = " ▁▂▃▄▅▆▇█"
+    step = max(1, len(values) // width)
+    sampled = [max(values[i:i + step]) for i in range(0, len(values), step)]
+    top = max(sampled) or 1.0
+    return "".join(blocks[min(8, int(v / top * 8))] for v in sampled)
+
+
+def _migration_run(num_qps: int, migrate: str, presetup: bool,
+                   msg_size: int = 65536, depth: int = 8,
+                   sample_partner: bool = False):
+    tb = cluster.build(num_partners=1)
+    world = MigrRdmaWorld(tb)
+    kwargs = dict(world=world, mode="write", msg_size=msg_size, depth=depth)
+    sender = PerftestEndpoint(tb.source if migrate == "sender" else tb.partners[0],
+                              name="tx", **kwargs)
+    receiver = PerftestEndpoint(tb.partners[0] if migrate == "sender" else tb.source,
+                                name="rx", **kwargs)
+    mover = sender if migrate == "sender" else receiver
+
+    def setup():
+        yield from sender.setup(qp_budget=num_qps)
+        yield from receiver.setup(qp_budget=num_qps)
+        yield from connect_endpoints(sender, receiver, qp_count=num_qps)
+
+    tb.run(setup())
+    sampler = None
+    if sample_partner:
+        sampler = ThroughputSampler.for_nic(tb.sim, tb.partners[0].rnic, 5e-3)
+        sampler.start()
+    sender.start_as_sender()
+
+    def flow():
+        yield tb.sim.timeout(0.25 if sample_partner else 2e-3)
+        migration = LiveMigration(world, mover.container, tb.destination,
+                                  presetup=presetup)
+        report = yield from migration.run()
+        yield tb.sim.timeout(0.3 if sample_partner else 2e-3)
+        sender.stop()
+        receiver.stop()
+        yield tb.sim.timeout(2e-3)
+        return report
+
+    report = tb.run(flow(), limit=1200.0)
+    if sampler is not None:
+        sampler.stop()
+    assert sender.stats.clean, sender.stats.status_errors[:2]
+    return report, sampler, migrate
+
+
+def cmd_fig3(args) -> None:
+    print(f"{'case':<18}{'QPs':>6}{'DumpRDMA':>10}{'DumpOthers':>12}"
+          f"{'Transfer':>10}{'RestoreRDMA':>13}{'FullRestore':>13}{'blackout':>10}")
+    for num_qps in args.qps:
+        for presetup in (True, False):
+            report, _s, _m = _migration_run(num_qps, args.migrate, presetup)
+            phases = dict(report.breakdown.ordered())
+            label = f"{args.migrate}/{'pre' if presetup else 'nopre'}"
+            print(f"{label:<18}{num_qps:>6}"
+                  f"{phases.get('DumpRDMA', 0) * 1e3:>10.1f}"
+                  f"{phases.get('DumpOthers', 0) * 1e3:>12.1f}"
+                  f"{phases.get('Transfer', 0) * 1e3:>10.1f}"
+                  f"{phases.get('RestoreRDMA', 0) * 1e3:>13.1f}"
+                  f"{phases.get('FullRestore', 0) * 1e3:>13.1f}"
+                  f"{report.blackout_s * 1e3:>10.1f}  (ms)")
+
+
+def cmd_fig4(args) -> None:
+    link_rate = default_config().link.rate_bps
+    print(f"{'point':>10}{'theory_us':>12}{'wbs_us':>10}{'ratio':>8}")
+    if args.sweep == "qps":
+        points = [(n, 4096) for n in (1, 4, 16, 64)]
+    else:
+        points = [(1, s) for s in (512, 4096, 65536, 524288)]
+    for num_qps, msg_size in points:
+        report, _s, _m = _migration_run(num_qps, "sender", presetup=False,
+                                        msg_size=msg_size, depth=64)
+        theory = num_qps * 64 * msg_size * 8 / link_rate
+        point = num_qps if args.sweep == "qps" else msg_size
+        print(f"{point:>10}{theory * 1e6:>12.2f}"
+              f"{report.wbs_elapsed_s * 1e6:>10.2f}"
+              f"{report.wbs_elapsed_s / theory:>8.2f}")
+
+
+def cmd_fig5(args) -> None:
+    report, sampler, migrate = _migration_run(
+        16, args.migrate, presetup=True, msg_size=2 * 1024 * 1024,
+        depth=8, sample_partner=True)
+    direction = "rx" if migrate == "sender" else "tx"
+    series = [getattr(s, f"{direction}_gbps") for s in sampler.samples]
+    print(f"partner {direction} throughput during migrate-{migrate} "
+          f"(5 ms samples, blackout {report.blackout_s * 1e3:.0f} ms):")
+    print(sparkline(series))
+    print(f"peak {max(series):.1f} Gbps; "
+          f"suspension at t={report.t_suspend:.3f}s, "
+          f"resume at t={report.t_resume:.3f}s")
+
+
+def cmd_table4(args) -> None:
+    from repro.core import MigrRdmaWorld as World
+
+    def measure(mode, virtualized):
+        tb = cluster.build(num_partners=1)
+        world = World(tb) if virtualized else None
+        tx = PerftestEndpoint(tb.source, world=world, mode=mode, msg_size=64,
+                              depth=16, sample_cycles=True)
+        rx = PerftestEndpoint(tb.partners[0], world=world, mode=mode,
+                              msg_size=64, depth=16)
+
+        def flow():
+            yield from tx.setup(qp_budget=1)
+            yield from rx.setup(qp_budget=1)
+            yield from connect_endpoints(tx, rx, qp_count=1)
+            if mode == "send":
+                rx.start_as_receiver()
+            tx.start_as_sender(iters=1024)
+            while tx.running:
+                yield tb.sim.timeout(50e-6)
+
+        tb.run(flow(), limit=60.0)
+        return tx.process.cpu.mean_sample_cycles(mode)
+
+    print(f"{'op':<8}{'w/o virt':>10}{'with virt':>11}{'extra':>8}{'overhead':>10}")
+    for mode in ("send", "write", "read"):
+        base = measure(mode, False)
+        virt = measure(mode, True)
+        print(f"{mode:<8}{base:>10.1f}{virt:>11.1f}{virt - base:>8.1f}"
+              f"{(virt - base) / base:>9.1%}")
+
+
+def cmd_fig6(args) -> None:
+    from repro.apps.hadoop_scenarios import fast_test_config, run_scenario
+
+    config = fast_test_config() if args.fast else None
+    event = 0.05 if args.fast else 3.0
+    base = None
+    print(f"{'strategy':<12}{'JCT_s':>8}{'tput_gbps':>11}")
+    for scenario in ("baseline", "migrrdma", "failover"):
+        outcome = run_scenario(args.task, scenario, config=config,
+                               event_after_s=event)
+        tput = (f"{outcome.tput_gbps():>11.2f}"
+                if args.task == "dfsio" else f"{'n/a':>11}")
+        print(f"{scenario:<12}{outcome.jct_s:>8.2f}{tput}")
+
+
+def cmd_migros(args) -> None:
+    model = MigrOsModel(default_config())
+    print(f"{'QPs':>6}{'migrrdma_ms':>13}{'migros_ms':>11}{'slowdown':>10}")
+    for num_qps in args.qps:
+        report, _s, _m = _migration_run(num_qps, "sender", presetup=True)
+        row = model.compare(report, num_qps)
+        print(f"{num_qps:>6}{row['migrrdma_blackout_s'] * 1e3:>13.1f}"
+              f"{row['migros_blackout_s'] * 1e3:>11.1f}"
+              f"{row['migros_slowdown']:>9.2f}x")
+
+
+def _csv_ints(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+
+    p3 = sub.add_parser("fig3", help="blackout breakdown")
+    p3.add_argument("--qps", type=_csv_ints, default=[16, 64])
+    p3.add_argument("--migrate", choices=["sender", "receiver"], default="sender")
+
+    p4 = sub.add_parser("fig4", help="wait-before-stop overhead")
+    p4.add_argument("--sweep", choices=["qps", "msgsize"], default="msgsize")
+
+    p5 = sub.add_parser("fig5", help="partner throughput timeline")
+    p5.add_argument("--migrate", choices=["sender", "receiver"], default="sender")
+
+    sub.add_parser("table4", help="data-path virtualization overhead")
+
+    p6 = sub.add_parser("fig6", help="Hadoop maintenance scenarios")
+    p6.add_argument("--task", choices=["dfsio", "estimatepi"], default="dfsio")
+    p6.add_argument("--fast", action="store_true")
+
+    pm = sub.add_parser("migros", help="MigrRDMA vs MigrOS comparison")
+    pm.add_argument("--qps", type=_csv_ints, default=[16, 64])
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name in ("fig3", "fig4", "fig5", "table4", "fig6", "migros"):
+            print(name)
+        return 0
+    handler = globals()[f"cmd_{args.command}"]
+    handler(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

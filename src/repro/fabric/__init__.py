@@ -1,0 +1,16 @@
+"""Network fabric substrate.
+
+Models the paper's testbed fabric: servers with 100 Gbps ports connected by
+a single switch hop.  Each node has an egress :class:`~repro.fabric.port.Port`
+that serializes transmissions at line rate — so RDMA traffic, migration TCP
+traffic and control messages naturally contend for the same wire, which is
+what produces the brownout effects in Figure 5.  A configurable loss model
+supports the "buggy network" wait-before-stop experiments (§3.4).
+"""
+
+from repro.fabric.message import Message
+from repro.fabric.port import Port
+from repro.fabric.network import Network, Node
+from repro.fabric.tcp import TcpChannel
+
+__all__ = ["Message", "Network", "Node", "Port", "TcpChannel"]

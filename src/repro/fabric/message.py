@@ -1,0 +1,37 @@
+"""Wire messages.
+
+A :class:`Message` is what crosses the fabric: it carries an explicit wire
+size (which determines serialization time) and an arbitrary payload object
+interpreted by the receiving protocol handler (RDMA engine, TCP endpoint,
+or the migration control plane).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_message_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A unit of transmission on the fabric."""
+
+    src: str
+    dst: str
+    protocol: str
+    size_bytes: int
+    payload: Any = None
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"negative message size: {self.size_bytes}")
+
+    def __repr__(self) -> str:
+        return (
+            f"<Message #{self.msg_id} {self.src}->{self.dst} "
+            f"proto={self.protocol} {self.size_bytes}B>"
+        )

@@ -1,0 +1,117 @@
+"""The fabric: nodes, a one-hop switch, and loss injection.
+
+Topology matches the paper's testbed — six servers behind one Arista
+switch — generalised to any number of nodes.  Delivery = egress
+serialization (the sender's :class:`~repro.fabric.port.Port`) + a fixed
+propagation/switching delay.  An optional Bernoulli loss model drops
+messages in flight; reliability is the job of the protocol layers (the RC
+engine retransmits, the TCP channel retransmits).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional
+
+from repro.config import Config, default_config
+from repro.fabric.message import Message
+from repro.fabric.port import Port
+from repro.sim import Simulator
+
+Handler = Callable[[Message], None]
+
+
+class Node:
+    """A server attached to the fabric: one egress port, protocol handlers."""
+
+    def __init__(self, network: "Network", name: str, rate_bps: float):
+        self.network = network
+        self.name = name
+        self.port = Port(network.sim, rate_bps, name=name)
+        self._handlers: Dict[str, Handler] = {}
+
+    def register_handler(self, protocol: str, handler: Handler) -> None:
+        if protocol in self._handlers:
+            raise ValueError(f"{self.name}: handler for protocol {protocol!r} already registered")
+        self._handlers[protocol] = handler
+
+    def unregister_handler(self, protocol: str) -> None:
+        self._handlers.pop(protocol, None)
+
+    def deliver(self, message: Message) -> None:
+        handler = self._handlers.get(message.protocol)
+        if handler is None:
+            raise LookupError(
+                f"{self.name}: no handler for protocol {message.protocol!r} "
+                f"(message {message!r})"
+            )
+        handler(message)
+
+    def send(self, message: Message) -> None:
+        """Queue a message for transmission through this node's port."""
+        if message.src != self.name:
+            raise ValueError(f"message src {message.src!r} does not match node {self.name!r}")
+        self.network.transmit(message)
+
+    def __repr__(self) -> str:
+        return f"<Node {self.name}>"
+
+
+class Network:
+    """All nodes plus the switch's propagation and loss behaviour."""
+
+    def __init__(self, sim: Simulator, config: Optional[Config] = None):
+        self.sim = sim
+        self.config = config or default_config()
+        self.nodes: Dict[str, Node] = {}
+        self.loss_rate = 0.0
+        self._rng = random.Random(self.config.seed ^ 0x5EED)
+        self.messages_sent = 0
+        self.messages_dropped = 0
+
+    def add_node(self, name: str, rate_bps: Optional[float] = None) -> Node:
+        if name in self.nodes:
+            raise ValueError(f"duplicate node name {name!r}")
+        node = Node(self, name, rate_bps or self.config.link.rate_bps)
+        self.nodes[name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise LookupError(f"unknown node {name!r}") from None
+
+    def set_loss_rate(self, loss_rate: float) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {loss_rate}")
+        self.loss_rate = loss_rate
+
+    def transmit(self, message: Message) -> None:
+        src = self.node(message.src)
+        self.node(message.dst)  # validate early
+        self.messages_sent += 1
+        src.port.transmit(message.size_bytes, lambda: self._propagate(message))
+
+    def transmit_raw(self, src: str, dst: str, size_bytes: int, protocol: str, payload) -> None:
+        """Inject a message whose serialization was already metered.
+
+        Protocol engines (the RNIC) that explicitly wait on their port use
+        this to hand the fully-serialized message to the switch without
+        paying serialization twice.
+        """
+        self.node(src)
+        self.node(dst)
+        self.messages_sent += 1
+        self._propagate(Message(src=src, dst=dst, protocol=protocol,
+                                size_bytes=size_bytes, payload=payload))
+
+    def _propagate(self, message: Message) -> None:
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.messages_dropped += 1
+            return
+        dst = self.node(message.dst)
+        self.sim.schedule(
+            self.config.link.propagation_delay_s,
+            lambda: dst.deliver(message),
+        )

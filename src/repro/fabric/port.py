@@ -1,0 +1,69 @@
+"""Egress port: a single server draining transmissions at line rate.
+
+All traffic a node originates — RDMA payloads, migration TCP segments,
+control-plane notifications — funnels through its port, so serialization
+delay and cross-traffic contention fall out of the model for free.  This is
+what makes the wait-before-stop theory line (inflight bytes / link rate)
+hold in Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim import Event, Queue, Simulator
+
+
+class Port:
+    """FIFO egress scheduler with a fixed drain rate.
+
+    Transmissions are ``(size_bytes, on_wire_done)`` pairs; ``on_wire_done``
+    fires once the last bit has been serialized onto the wire (propagation
+    is the network's job).
+    """
+
+    def __init__(self, sim: Simulator, rate_bps: float, name: str = ""):
+        if rate_bps <= 0:
+            raise ValueError(f"port rate must be positive, got {rate_bps}")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.name = name
+        self._queue: Queue = Queue(sim)
+        self._bytes_sent = 0
+        self._busy_until = 0.0
+        #: Optional callable returning a serialization slowdown factor
+        #: (>= 1.0); used to model NIC-internal contention during
+        #: control-path bursts (Figure 5 brownout dips).
+        self.contention_factor = None
+        sim.spawn(self._drain(), name=f"port:{name}")
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._bytes_sent
+
+    @property
+    def backlog(self) -> int:
+        return len(self._queue)
+
+    def serialization_time(self, size_bytes: int) -> float:
+        return size_bytes * 8.0 / self.rate_bps
+
+    def transmit(self, size_bytes: int, on_wire_done: Optional[Callable[[], None]] = None) -> Event:
+        """Enqueue a transmission; the returned event fires at wire-done."""
+        done = self.sim.event()
+        self._queue.put((size_bytes, on_wire_done, done))
+        return done
+
+    def _drain(self):
+        while True:
+            size_bytes, on_wire_done, done = yield self._queue.get()
+            if size_bytes > 0:
+                delay = self.serialization_time(size_bytes)
+                if self.contention_factor is not None:
+                    delay *= max(1.0, self.contention_factor())
+                yield self.sim.timeout(delay)
+            self._bytes_sent += size_bytes
+            self._busy_until = self.sim.now
+            if on_wire_done is not None:
+                on_wire_done()
+            done.succeed(self.sim.now)

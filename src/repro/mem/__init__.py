@@ -1,0 +1,22 @@
+"""Process virtual-memory substrate.
+
+Models what CRIU manipulates during live migration: page-granular virtual
+address spaces made of VMAs backed by page stores.  Page contents are real
+``bytearray`` data so that RDMA operations move actual bytes and the
+correctness checks (no loss/duplication/corruption across migration) are
+meaningful.  ``mremap`` relocates a VMA's virtual range while keeping its
+backing store — the primitive the paper relies on to restore MR memory and
+on-chip memory at the application's original virtual addresses (§3.2, §3.3).
+"""
+
+from repro.mem.paging import PageStore
+from repro.mem.address_space import VMA, AddressSpace, MemoryError_, align_down, align_up
+
+__all__ = [
+    "VMA",
+    "AddressSpace",
+    "MemoryError_",
+    "PageStore",
+    "align_down",
+    "align_up",
+]

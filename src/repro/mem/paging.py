@@ -1,0 +1,119 @@
+"""Page store: the "physical" backing of a VMA.
+
+Pages are materialised lazily (a page never written reads as zeros) and a
+dirty set records which pages changed since the last
+:meth:`PageStore.collect_dirty` — the hook the pre-copy loop uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Set, Tuple
+
+from repro.config import PAGE_SIZE
+
+
+class PageStore:
+    """Sparse page-indexed byte storage with dirty tracking.
+
+    Offsets are relative to the start of the owning VMA; the store survives
+    ``mremap`` untouched, which is exactly the "physical address unchanged"
+    semantics the paper depends on.
+    """
+
+    def __init__(self, length: int):
+        if length <= 0 or length % PAGE_SIZE != 0:
+            raise ValueError(f"length must be a positive multiple of {PAGE_SIZE}, got {length}")
+        self.length = length
+        self._pages: Dict[int, bytearray] = {}
+        self._dirty: Set[int] = set()
+
+    @property
+    def num_pages(self) -> int:
+        return self.length // PAGE_SIZE
+
+    @property
+    def touched_pages(self) -> int:
+        return len(self._pages)
+
+    def _page(self, index: int) -> bytearray:
+        page = self._pages.get(index)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[index] = page
+        return page
+
+    def _check_range(self, offset: int, size: int) -> None:
+        if offset < 0 or size < 0 or offset + size > self.length:
+            raise ValueError(f"range [{offset}, {offset + size}) outside store of length {self.length}")
+
+    def read(self, offset: int, size: int) -> bytes:
+        self._check_range(offset, size)
+        chunks = []
+        while size > 0:
+            index, within = divmod(offset, PAGE_SIZE)
+            take = min(size, PAGE_SIZE - within)
+            page = self._pages.get(index)
+            if page is None:
+                chunks.append(b"\x00" * take)
+            else:
+                chunks.append(bytes(page[within:within + take]))
+            offset += take
+            size -= take
+        return b"".join(chunks)
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._check_range(offset, len(data))
+        pos = 0
+        size = len(data)
+        while pos < size:
+            index, within = divmod(offset + pos, PAGE_SIZE)
+            take = min(size - pos, PAGE_SIZE - within)
+            self._page(index)[within:within + take] = data[pos:pos + take]
+            self._dirty.add(index)
+            pos += take
+
+    # -- dirty tracking ----------------------------------------------------
+
+    @property
+    def dirty_pages(self) -> Set[int]:
+        return set(self._dirty)
+
+    def collect_dirty(self) -> Set[int]:
+        """Return and clear the set of dirty page indices."""
+        dirty, self._dirty = self._dirty, set()
+        return dirty
+
+    def mark_all_dirty(self) -> None:
+        """Mark every materialised page dirty (first pre-copy iteration)."""
+        self._dirty = set(self._pages.keys())
+
+    # -- snapshot / restore --------------------------------------------------
+
+    def snapshot_pages(self, indices) -> Dict[int, bytes]:
+        """Copy out the given pages (zeros for never-written pages)."""
+        out = {}
+        for index in indices:
+            if index < 0 or index >= self.num_pages:
+                raise ValueError(f"page index {index} outside store")
+            page = self._pages.get(index)
+            out[index] = bytes(page) if page is not None else b"\x00" * PAGE_SIZE
+        return out
+
+    def install_pages(self, pages: Dict[int, bytes]) -> None:
+        """Write page images (from a migration transfer) into the store."""
+        for index, content in pages.items():
+            if len(content) != PAGE_SIZE:
+                raise ValueError(f"page image must be {PAGE_SIZE} bytes, got {len(content)}")
+            if index < 0 or index >= self.num_pages:
+                raise ValueError(f"page index {index} outside store")
+            self._pages[index] = bytearray(content)
+
+    def iter_pages(self) -> Iterator[Tuple[int, bytes]]:
+        for index in sorted(self._pages):
+            yield index, bytes(self._pages[index])
+
+    def clone(self) -> "PageStore":
+        other = PageStore(self.length)
+        other._pages = {i: bytearray(p) for i, p in self._pages.items()}
+        other._dirty = set(self._dirty)
+        return other

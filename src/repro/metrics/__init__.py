@@ -1,0 +1,15 @@
+"""Measurement machinery: CPU cycle accounting, NIC byte counters, blackout
+breakdowns and throughput timelines."""
+
+from repro.metrics.cycles import CpuContext, CycleSample
+from repro.metrics.counters import ThroughputSample, ThroughputSampler
+from repro.metrics.blackout import BlackoutBreakdown, PhaseTimer
+
+__all__ = [
+    "BlackoutBreakdown",
+    "CpuContext",
+    "CycleSample",
+    "PhaseTimer",
+    "ThroughputSample",
+    "ThroughputSampler",
+]

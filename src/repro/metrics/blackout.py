@@ -1,0 +1,85 @@
+"""Blackout breakdown accounting (Figure 3).
+
+The migration workflow wraps each stop-and-copy phase in a
+:class:`PhaseTimer`; the result is a :class:`BlackoutBreakdown` with the
+five components the paper reports: DumpRDMA, DumpOthers, Transfer,
+RestoreRDMA, FullRestore (plus any extra phases a variant records).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim import Simulator
+
+#: Canonical phase order used in Figure 3's stacked bars.
+PHASE_ORDER = ["DumpRDMA", "DumpOthers", "Transfer", "RestoreRDMA", "FullRestore"]
+
+
+class BlackoutBreakdown:
+    """Named phase durations accumulated during stop-and-copy."""
+
+    def __init__(self):
+        self.phases: Dict[str, float] = {}
+        self.extra: Dict[str, float] = {}  # non-blackout observations (e.g. WBS)
+
+    def add(self, phase: str, duration_s: float) -> None:
+        if duration_s < 0:
+            raise ValueError(f"negative phase duration for {phase}: {duration_s}")
+        self.phases[phase] = self.phases.get(phase, 0.0) + duration_s
+
+    def note(self, key: str, value: float) -> None:
+        """Record a non-blackout measurement alongside the breakdown."""
+        self.extra[key] = value
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.phases.values())
+
+    def fraction(self, phase: str) -> float:
+        total = self.total_s
+        if total == 0:
+            raise ValueError("empty breakdown")
+        return self.phases.get(phase, 0.0) / total
+
+    def ordered(self) -> List:
+        """(phase, seconds) in canonical order, then any extras phases."""
+        rows = [(p, self.phases[p]) for p in PHASE_ORDER if p in self.phases]
+        rows += [(p, d) for p, d in self.phases.items() if p not in PHASE_ORDER]
+        return rows
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{p}={d * 1e3:.1f}ms" for p, d in self.ordered())
+        return f"<BlackoutBreakdown total={self.total_s * 1e3:.1f}ms {inner}>"
+
+
+class PhaseTimer:
+    """Context-manager-style phase timing against simulated time.
+
+    Not a real context manager because phases span generator yields; use::
+
+        timer = PhaseTimer(sim, breakdown, "Transfer")
+        timer.start()
+        yield from ...
+        timer.stop()
+    """
+
+    def __init__(self, sim: Simulator, breakdown: BlackoutBreakdown, phase: str):
+        self.sim = sim
+        self.breakdown = breakdown
+        self.phase = phase
+        self._started_at: Optional[float] = None
+
+    def start(self) -> "PhaseTimer":
+        if self._started_at is not None:
+            raise RuntimeError(f"phase {self.phase} already started")
+        self._started_at = self.sim.now
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError(f"phase {self.phase} was never started")
+        duration = self.sim.now - self._started_at
+        self.breakdown.add(self.phase, duration)
+        self._started_at = None
+        return duration

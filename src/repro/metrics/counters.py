@@ -1,0 +1,105 @@
+"""Real-time throughput sampling from NIC byte counters.
+
+Mirrors the paper's §5.5.2 methodology: perftest cannot report fine-grained
+throughput, so the evaluation samples the Mellanox ethtool byte counters on
+a 5 ms grid and differentiates.  Here the counters are the RNIC model's
+``tx_bytes``/``rx_bytes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.sim import Interrupt, Simulator
+
+
+@dataclass
+class ThroughputSample:
+    """One 5-ms sample: time and throughput in Gbps."""
+
+    time_s: float
+    tx_gbps: float
+    rx_gbps: float
+
+
+class ThroughputSampler:
+    """Samples a pair of byte counters at a fixed interval."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        read_tx: Callable[[], int],
+        read_rx: Callable[[], int],
+        interval_s: float = 5e-3,
+    ):
+        if interval_s <= 0:
+            raise ValueError(f"sampling interval must be positive, got {interval_s}")
+        self.sim = sim
+        self.read_tx = read_tx
+        self.read_rx = read_rx
+        self.interval_s = interval_s
+        self.samples: List[ThroughputSample] = []
+        self._process = None
+
+    @classmethod
+    def for_nic(cls, sim: Simulator, nic, interval_s: float = 5e-3) -> "ThroughputSampler":
+        return cls(sim, lambda: nic.tx_bytes, lambda: nic.rx_bytes, interval_s)
+
+    def start(self) -> None:
+        if self._process is not None:
+            raise RuntimeError("sampler already started")
+        self._process = self.sim.spawn(self._run(), name="throughput-sampler")
+
+    def stop(self) -> None:
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("stop")
+        self._process = None
+
+    def _run(self):
+        last_tx = self.read_tx()
+        last_rx = self.read_rx()
+        try:
+            while True:
+                yield self.sim.timeout(self.interval_s)
+                tx, rx = self.read_tx(), self.read_rx()
+                self.samples.append(ThroughputSample(
+                    time_s=self.sim.now,
+                    tx_gbps=(tx - last_tx) * 8 / self.interval_s / 1e9,
+                    rx_gbps=(rx - last_rx) * 8 / self.interval_s / 1e9,
+                ))
+                last_tx, last_rx = tx, rx
+        except Interrupt:
+            return
+
+    # -- analysis helpers -----------------------------------------------------
+
+    def blackout_intervals(self, threshold_gbps: float = 0.5, direction: str = "rx"):
+        """Contiguous sample runs where throughput fell below ``threshold``.
+
+        Returns a list of (start_s, end_s) intervals.
+        """
+        intervals = []
+        run_start: Optional[float] = None
+        for sample in self.samples:
+            value = sample.rx_gbps if direction == "rx" else sample.tx_gbps
+            if value < threshold_gbps:
+                if run_start is None:
+                    run_start = sample.time_s - self.interval_s
+            else:
+                if run_start is not None:
+                    intervals.append((run_start, sample.time_s - self.interval_s))
+                    run_start = None
+        if run_start is not None and self.samples:
+            intervals.append((run_start, self.samples[-1].time_s))
+        return intervals
+
+    def mean_gbps(self, start_s: float, end_s: float, direction: str = "rx") -> float:
+        values = [
+            (s.rx_gbps if direction == "rx" else s.tx_gbps)
+            for s in self.samples
+            if start_s <= s.time_s <= end_s
+        ]
+        if not values:
+            raise ValueError(f"no samples in window [{start_s}, {end_s}]")
+        return sum(values) / len(values)

@@ -1,0 +1,97 @@
+"""Per-process CPU cycle accounting.
+
+The data path of verbs (and of MigrRDMA's interposition layer) charges an
+explicit cycle cost for every action it performs.  Charges accumulate in a
+:class:`CpuContext`; application driver loops periodically convert accrued
+cycles into simulated time (``yield sim.timeout(cpu.drain_seconds())``), so
+CPU-bound workloads (small messages — the 512 B case of Figure 4b) are
+CPU-limited in simulated time exactly as on real hardware, while the cycle
+ledger doubles as the measurement source for Table 4.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.config import CpuConfig
+
+
+@dataclass
+class CycleSample:
+    """One sampled operation cost (as perftest's cycle sampling records)."""
+
+    op: str
+    cycles: float
+
+
+class CpuContext:
+    """Cycle ledger for one application process (or interposition thread)."""
+
+    def __init__(self, cpu_config: CpuConfig, seed: int = 0, record_samples: bool = False):
+        self.config = cpu_config
+        self._accrued_cycles = 0.0
+        self.total_cycles = 0.0
+        self.cycles_by_op: Dict[str, float] = defaultdict(float)
+        self.count_by_op: Dict[str, int] = defaultdict(int)
+        self.record_samples = record_samples
+        self.samples: List[CycleSample] = []
+        self._rng = random.Random(seed)
+        self._pending_op: str = ""
+        self._pending_cycles = 0.0
+
+    # -- charging ---------------------------------------------------------
+
+    def charge(self, op: str, cycles: float) -> None:
+        """Charge ``cycles`` with small measurement jitter, booked under ``op``."""
+        noise = self.config.measurement_noise_frac
+        if noise:
+            cycles *= 1.0 + self._rng.uniform(-noise, noise)
+        self._accrued_cycles += cycles
+        self.total_cycles += cycles
+        self.cycles_by_op[op] += cycles
+        self.count_by_op[op] += 1
+        if self._pending_op:
+            self._pending_cycles += cycles
+
+    def charge_base(self, op: str) -> None:
+        """Charge the configured base data-path cost for ``op``."""
+        self.charge(op, self.config.base_cycles[op])
+
+    # -- operation-scoped sampling (perftest extension, §5.5.1) -------------
+
+    def begin_op_sample(self, op: str) -> None:
+        self._pending_op = op
+        self._pending_cycles = 0.0
+
+    def end_op_sample(self) -> None:
+        if self._pending_op and self.record_samples:
+            self.samples.append(CycleSample(self._pending_op, self._pending_cycles))
+        self._pending_op = ""
+        self._pending_cycles = 0.0
+
+    def mean_sample_cycles(self, op: str) -> float:
+        values = [s.cycles for s in self.samples if s.op == op]
+        if not values:
+            raise ValueError(f"no samples recorded for op {op!r}")
+        return sum(values) / len(values)
+
+    # -- time conversion ------------------------------------------------------
+
+    @property
+    def accrued_seconds(self) -> float:
+        return self._accrued_cycles / self.config.clock_hz
+
+    def drain_seconds(self) -> float:
+        """Return accrued CPU time as seconds and reset the accumulator."""
+        seconds = self.accrued_seconds
+        self._accrued_cycles = 0.0
+        return seconds
+
+    def mean_cycles(self, op: str) -> float:
+        count = self.count_by_op.get(op, 0)
+        if count == 0:
+            raise ValueError(f"no operations charged under {op!r}")
+        return self.cycles_by_op[op] / count

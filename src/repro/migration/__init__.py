@@ -1,0 +1,23 @@
+"""Container live-migration substrate (CRIU + runc analogue).
+
+:mod:`repro.migration.images` defines the checkpoint image format,
+:mod:`repro.migration.criu` implements the checkpoint/restore engine with
+iterative memory pre-copy and the partial/full restore split MigrRDMA adds
+to CRIU (§4), and :mod:`repro.migration.runc` exposes the runc-style
+command front-end (Table 2: CheckpointRDMA, PartialRestore, FullRestore,
+Exec).
+"""
+
+from repro.migration.images import ContainerImage, MemoryImage, ProcessImage
+from repro.migration.criu import CriuEngine, CriuPlugin, RestoreSession
+from repro.migration.runc import Runc
+
+__all__ = [
+    "ContainerImage",
+    "CriuEngine",
+    "CriuPlugin",
+    "MemoryImage",
+    "ProcessImage",
+    "RestoreSession",
+    "Runc",
+]

@@ -1,0 +1,91 @@
+"""runc-style command front-end (Table 2).
+
+The cloud manager drives migration through runc commands; runc in turn
+calls CRIU.  The paper extends runc with four commands:
+
+============== ================================================================
+CheckpointRDMA Dump container images containing the memory diff and the
+               RDMA-related diff (incremental after the first call).
+PartialRestore Execute CRIU's restore split: build skeletons, map RDMA memory
+               at original addresses, pre-setup, restore the first image.
+FullRestore    Signal CRIU (UNIX-socket in the paper, direct call here) to run
+               the final restore step.
+Exec           Restore non-initial processes too (the paper extends runc's
+               Exec with a restoration option; here every container process is
+               part of the session, which models the per-root-pid CRIU
+               instances the paper scripts around Docker).
+============== ================================================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster import Container, Server
+from repro.migration.criu import CriuEngine, CriuPlugin, RestoreSession
+from repro.migration.images import ContainerImage
+
+
+class Runc:
+    """Container runtime commands used by the migration orchestrator."""
+
+    def __init__(self, engine: CriuEngine, plugin: Optional[CriuPlugin] = None):
+        self.engine = engine
+        self.plugin = plugin or CriuPlugin()
+        self._has_previous_dump: dict = {}
+
+    # -- checkpoint side ------------------------------------------------------
+
+    def checkpoint_rdma(self, container: Container, include_others: bool = False):
+        """Generator: the CheckpointRDMA command.
+
+        The first call dumps everything (full memory + full RDMA state);
+        subsequent calls dump only differences, per §4.  Returns a
+        :class:`ContainerImage`.
+        """
+        first = not self._has_previous_dump.get(container.container_id, False)
+        self._has_previous_dump[container.container_id] = True
+        image = yield from self.engine.checkpoint_memory(container, full=first)
+        if first:
+            records, nbytes = yield from self.plugin.pre_dump_rdma(container)
+        else:
+            records, nbytes = yield from self.plugin.dump_rdma_diff(container)
+        image.rdma_records = records
+        image.rdma_bytes = nbytes
+        if include_others:
+            yield from self.engine.checkpoint_others(container)
+        return image
+
+    def checkpoint_memory_only(self, container: Container, full: bool = False):
+        """Generator: one pre-copy memory iteration (no RDMA, no others)."""
+        image = yield from self.engine.checkpoint_memory(container, full=full)
+        return image
+
+    def freeze(self, container: Container) -> None:
+        self.engine.freeze(container)
+
+    # -- restore side -------------------------------------------------------------
+
+    def partial_restore(self, image: ContainerImage, dest: Server):
+        """Generator: the PartialRestore command; returns the open session."""
+        session = self.engine.create_session(image, dest)
+        yield from self.engine.partial_restore(session, self.plugin)
+        return session
+
+    def apply_iteration(self, session: RestoreSession, image: ContainerImage):
+        """Generator: merge one pre-copy iteration into the session."""
+        session.image.merge(image)
+        yield from self.engine.apply_image(session, image)
+
+    def full_restore(self, session: RestoreSession):
+        """Generator: the FullRestore command (signals CRIU's second half)."""
+        yield from self.engine.full_restore(session)
+        yield from self.plugin.post_restore(session)
+        return session.container
+
+    def exec_restore(self, session: RestoreSession) -> Container:
+        """The extended Exec command: hand the restored container back so
+        the runtime can resume its (initial and non-initial) processes."""
+        if not session.fully_restored:
+            raise RuntimeError("Exec restoration requires a completed FullRestore")
+        return session.container

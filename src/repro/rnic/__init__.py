@@ -1,0 +1,57 @@
+"""RNIC device model.
+
+A discrete-event model of a commodity RDMA NIC (ConnectX-5-like): queue
+pairs with the InfiniBand state machine, completion queues and completion
+channels, protection domains, memory regions with lkey/rkey authorization,
+shared receive queues, memory windows, on-chip (device) memory, and engines
+for SEND/RECV, RDMA READ/WRITE and ATOMIC operations running at a
+configurable line rate with RC reliability (acknowledgements and
+retransmission).
+
+The model deliberately keeps the state *inside the NIC object* — QP ring
+pointers, connection state, physical key tables — because the entire
+premise of the paper is that this state is invisible to software and cannot
+be checkpointed; MigrRDMA's indirection layer (``repro.core``) must rebuild
+it from logged control-path calls instead.
+"""
+
+from repro.rnic.constants import AccessFlags, Opcode, QPState, QPType, WCStatus
+from repro.rnic.errors import (
+    AccessError,
+    CQError,
+    QPStateError,
+    ResourceError,
+    RnicError,
+)
+from repro.rnic.wr import SGE, RecvWR, SendWR
+from repro.rnic.cq import CQ, CompletionChannel, WorkCompletion
+from repro.rnic.mr import PD, MR, DeviceMemory, MemoryWindow
+from repro.rnic.srq import SRQ
+from repro.rnic.qp import QP
+from repro.rnic.nic import RNIC
+
+__all__ = [
+    "CQ",
+    "MR",
+    "PD",
+    "QP",
+    "RNIC",
+    "SGE",
+    "SRQ",
+    "AccessError",
+    "AccessFlags",
+    "CQError",
+    "CompletionChannel",
+    "DeviceMemory",
+    "MemoryWindow",
+    "Opcode",
+    "QPState",
+    "QPStateError",
+    "QPType",
+    "RecvWR",
+    "ResourceError",
+    "RnicError",
+    "SendWR",
+    "WCStatus",
+    "WorkCompletion",
+]

@@ -1,0 +1,124 @@
+"""Enumerations mirroring the ibverbs constants the model needs."""
+
+from __future__ import annotations
+
+import enum
+
+
+class QPType(enum.Enum):
+    """Transport service types (the paper covers RC and UD semantics)."""
+
+    RC = "RC"  # reliable connection
+    UD = "UD"  # unreliable datagram
+
+
+class QPState(enum.Enum):
+    """The InfiniBand QP state machine."""
+
+    RESET = "RESET"
+    INIT = "INIT"
+    RTR = "RTR"  # ready to receive
+    RTS = "RTS"  # ready to send
+    SQD = "SQD"  # send queue drained
+    ERR = "ERR"
+
+    def can_post_send(self) -> bool:
+        return self is QPState.RTS
+
+    def can_post_recv(self) -> bool:
+        return self in (QPState.INIT, QPState.RTR, QPState.RTS, QPState.SQD)
+
+    def can_receive(self) -> bool:
+        return self in (QPState.RTR, QPState.RTS, QPState.SQD)
+
+
+#: Legal forward transitions of the QP state machine.
+QP_TRANSITIONS = {
+    QPState.RESET: {QPState.INIT, QPState.ERR},
+    QPState.INIT: {QPState.RTR, QPState.ERR, QPState.RESET},
+    QPState.RTR: {QPState.RTS, QPState.ERR, QPState.RESET},
+    QPState.RTS: {QPState.SQD, QPState.ERR, QPState.RESET},
+    QPState.SQD: {QPState.RTS, QPState.ERR, QPState.RESET},
+    QPState.ERR: {QPState.RESET},
+}
+
+
+class Opcode(enum.Enum):
+    """Work-request opcodes."""
+
+    SEND = "SEND"
+    SEND_WITH_IMM = "SEND_WITH_IMM"
+    RDMA_WRITE = "RDMA_WRITE"
+    RDMA_WRITE_WITH_IMM = "RDMA_WRITE_WITH_IMM"
+    RDMA_READ = "RDMA_READ"
+    ATOMIC_CMP_AND_SWP = "ATOMIC_CMP_AND_SWP"
+    ATOMIC_FETCH_AND_ADD = "ATOMIC_FETCH_AND_ADD"
+    RECV = "RECV"
+    BIND_MW = "BIND_MW"
+
+    @property
+    def is_one_sided(self) -> bool:
+        return self in (
+            Opcode.RDMA_WRITE,
+            Opcode.RDMA_WRITE_WITH_IMM,
+            Opcode.RDMA_READ,
+            Opcode.ATOMIC_CMP_AND_SWP,
+            Opcode.ATOMIC_FETCH_AND_ADD,
+        )
+
+    @property
+    def is_two_sided(self) -> bool:
+        return self in (Opcode.SEND, Opcode.SEND_WITH_IMM)
+
+    @property
+    def consumes_recv(self) -> bool:
+        """Does this opcode consume a RECV WR at the responder?"""
+        return self in (
+            Opcode.SEND,
+            Opcode.SEND_WITH_IMM,
+            Opcode.RDMA_WRITE_WITH_IMM,
+        )
+
+    @property
+    def is_atomic(self) -> bool:
+        return self in (Opcode.ATOMIC_CMP_AND_SWP, Opcode.ATOMIC_FETCH_AND_ADD)
+
+    @property
+    def needs_response_payload(self) -> bool:
+        """READ and ATOMIC carry data back to the requester."""
+        return self is Opcode.RDMA_READ or self.is_atomic
+
+
+class WCStatus(enum.Enum):
+    """Work-completion status codes."""
+
+    SUCCESS = "SUCCESS"
+    LOC_LEN_ERR = "LOC_LEN_ERR"
+    LOC_PROT_ERR = "LOC_PROT_ERR"
+    REM_ACCESS_ERR = "REM_ACCESS_ERR"
+    REM_OP_ERR = "REM_OP_ERR"
+    RETRY_EXC_ERR = "RETRY_EXC_ERR"
+    RNR_RETRY_EXC_ERR = "RNR_RETRY_EXC_ERR"
+    WR_FLUSH_ERR = "WR_FLUSH_ERR"
+
+
+class AccessFlags(enum.Flag):
+    """Memory-region access permissions."""
+
+    NONE = 0
+    LOCAL_WRITE = enum.auto()
+    REMOTE_WRITE = enum.auto()
+    REMOTE_READ = enum.auto()
+    REMOTE_ATOMIC = enum.auto()
+    MW_BIND = enum.auto()
+
+    @classmethod
+    def all_remote(cls) -> "AccessFlags":
+        return (
+            cls.LOCAL_WRITE | cls.REMOTE_WRITE | cls.REMOTE_READ | cls.REMOTE_ATOMIC | cls.MW_BIND
+        )
+
+
+ATOMIC_OPERAND_BYTES = 8
+ACK_BYTES = 46  # RoCEv2 ACK frame
+REQUEST_HEADER_BYTES = 58  # Eth + IP + UDP + BTH (+RETH)

@@ -1,0 +1,51 @@
+"""Shared receive queues."""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Deque, Optional
+
+from repro.rnic.errors import ResourceError
+from repro.rnic.mr import PD
+from repro.rnic.wr import RecvWR
+
+_srq_handles = itertools.count(1)
+
+
+class SRQ:
+    """A shared receive queue: multiple QPs consume RECV WRs from it."""
+
+    def __init__(self, pd: PD, max_wr: int):
+        if max_wr <= 0:
+            raise ResourceError(f"SRQ max_wr must be positive, got {max_wr}")
+        self.pd = pd
+        self.handle = next(_srq_handles)
+        self.max_wr = max_wr
+        self._wrs: Deque[RecvWR] = deque()
+        self.destroyed = False
+        self.total_posted = 0
+
+    def __len__(self) -> int:
+        return len(self._wrs)
+
+    def post(self, wr: RecvWR) -> None:
+        if self.destroyed:
+            raise ResourceError("post to a destroyed SRQ")
+        if len(self._wrs) >= self.max_wr:
+            raise ResourceError(f"SRQ full (max_wr={self.max_wr})")
+        self._wrs.append(wr)
+        self.total_posted += 1
+
+    def consume(self) -> Optional[RecvWR]:
+        if self._wrs:
+            return self._wrs.popleft()
+        return None
+
+    def pending(self) -> list:
+        """Snapshot of not-yet-consumed RECV WRs (for migration replay)."""
+        return list(self._wrs)
+
+    def destroy(self) -> None:
+        self.destroyed = True
+        self._wrs.clear()

@@ -1,0 +1,106 @@
+"""Work requests and scatter/gather elements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.rnic.constants import ATOMIC_OPERAND_BYTES, Opcode
+
+
+@dataclass
+class SGE:
+    """A scatter/gather element: local buffer described by an lkey."""
+
+    addr: int
+    length: int
+    lkey: int
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ValueError(f"negative SGE length: {self.length}")
+
+
+@dataclass
+class SendWR:
+    """A send-queue work request (SEND / WRITE / READ / ATOMIC / BIND_MW)."""
+
+    wr_id: int
+    opcode: Opcode
+    sges: List[SGE] = field(default_factory=list)
+    signaled: bool = True
+    imm_data: Optional[int] = None
+    # One-sided target.
+    remote_addr: int = 0
+    rkey: int = 0
+    # Atomics.
+    compare_add: int = 0
+    swap: int = 0
+    # UD addressing.
+    remote_node: Optional[str] = None
+    remote_qpn: Optional[int] = None
+    # Memory-window bind.
+    bind_mw: Optional[object] = None
+    bind_mr: Optional[object] = None
+    bind_access: Optional[object] = None
+    # Inline send: the payload is copied out of the application buffer at
+    # post time (no lkey check, buffer immediately reusable).
+    inline: bool = False
+    inline_data: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if self.opcode is Opcode.RECV:
+            raise ValueError("RECV is not a send-queue opcode; use RecvWR")
+        if self.opcode.is_atomic and self.total_length not in (0, ATOMIC_OPERAND_BYTES):
+            raise ValueError("atomic WRs carry exactly one 8-byte SGE")
+
+    @property
+    def total_length(self) -> int:
+        return sum(sge.length for sge in self.sges)
+
+    @property
+    def wire_payload_bytes(self) -> int:
+        """Bytes the request carries on the wire toward the responder."""
+        if self.opcode is Opcode.RDMA_READ:
+            return 0  # the READ request is header-only; data flows back
+        if self.opcode.is_atomic:
+            return ATOMIC_OPERAND_BYTES
+        return self.total_length
+
+
+@dataclass
+class RecvWR:
+    """A receive-queue work request."""
+
+    wr_id: int
+    sges: List[SGE] = field(default_factory=list)
+
+    @property
+    def total_length(self) -> int:
+        return sum(sge.length for sge in self.sges)
+
+
+def clone_send_wr(wr: SendWR) -> SendWR:
+    """A shallow-ish copy safe to re-post (used by WR replay after restore)."""
+    return SendWR(
+        wr_id=wr.wr_id,
+        opcode=wr.opcode,
+        sges=[SGE(s.addr, s.length, s.lkey) for s in wr.sges],
+        signaled=wr.signaled,
+        imm_data=wr.imm_data,
+        remote_addr=wr.remote_addr,
+        rkey=wr.rkey,
+        compare_add=wr.compare_add,
+        swap=wr.swap,
+        remote_node=wr.remote_node,
+        remote_qpn=wr.remote_qpn,
+        bind_mw=wr.bind_mw,
+        bind_mr=wr.bind_mr,
+        bind_access=wr.bind_access,
+        inline=wr.inline,
+        inline_data=wr.inline_data,
+    )
+
+
+def clone_recv_wr(wr: RecvWR) -> RecvWR:
+    return RecvWR(wr_id=wr.wr_id, sges=[SGE(s.addr, s.length, s.lkey) for s in wr.sges])

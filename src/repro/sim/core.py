@@ -1,0 +1,333 @@
+"""Core discrete-event simulation primitives.
+
+The simulator keeps a heap of ``(time, sequence, callback)`` entries and
+advances simulated time by popping them in order.  Work is expressed as
+generator-based processes that ``yield`` events; a process resumes when the
+yielded event fires, receiving the event's value (or the event's exception,
+raised inside the generator).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation itself is misused (not model errors)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    triggers it exactly once, after which its callbacks run at the current
+    simulated time.  Waiting on an already-triggered event resumes the
+    waiter immediately (at the current time, via the event queue).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if not self._triggered:
+            raise SimulationError("event has not been triggered yet")
+        return self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event has not been triggered yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self.sim._schedule_event(self)
+        return self
+
+    def _process_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` once the event has been triggered."""
+        if self._processed:
+            # Already fired and drained: deliver asynchronously to preserve
+            # the invariant that callbacks never run inside add_callback().
+            self.sim.schedule(0.0, lambda: callback(self))
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._schedule_event(self, delay=delay)
+
+
+class Process(Event):
+    """Drives a generator, treating each yielded event as a wait point.
+
+    A process is itself an event: it triggers with the generator's return
+    value when the generator finishes, or fails with the generator's
+    unhandled exception.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"Process requires a generator, got {type(generator)!r}")
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        sim.schedule(0.0, self._start)
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name} at t={self.sim.now:.6f}>"
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def _start(self) -> None:
+        self._resume(None, None)
+
+    def _on_event(self, event: Event) -> None:
+        if self._triggered:
+            return
+        self._waiting_on = None
+        if event._exception is not None:
+            self._resume(None, event._exception)
+        else:
+            self._resume(event._value, None)
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        try:
+            if exc is not None:
+                target = self.generator.throw(exc)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        except Interrupt as interrupt:
+            self.fail(interrupt)
+            return
+        except Exception as error:
+            self.sim.failed_processes.append((self.name, error))
+            self.fail(error)
+            return
+        if not isinstance(target, Event):
+            self.generator.close()
+            self.fail(SimulationError(f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_event)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            return
+
+        def deliver() -> None:
+            if self._triggered:
+                return
+            # Detach from whatever the process was waiting on; the stale
+            # event callback is neutralised by the _waiting_on check below.
+            self._waiting_on = None
+            self._resume(None, Interrupt(cause))
+
+        self.sim.schedule(0.0, deliver)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf: waits on several events at once."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._pending = len(self.events)
+        if not self.events:
+            self.succeed([])
+            return
+        for event in self.events:
+            event.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers once every constituent event has triggered.
+
+    The value is the list of constituent values in construction order.  The
+    first failure fails the condition.
+    """
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([e._value for e in self.events])
+
+
+class AnyOf(_Condition):
+    """Triggers when the first constituent event triggers.
+
+    The value is a ``(event, value)`` pair identifying which fired first.
+    """
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self.succeed((event, event._value))
+
+
+class Simulator:
+    """The event loop: owns simulated time and the pending-event heap."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: List = []
+        self._sequence = 0
+        #: (name, exception) of processes that died with an unhandled error —
+        #: useful for debugging background processes nobody awaits.
+        self.failed_processes: List = []
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self._sequence += 1
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, callback))
+
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        self.schedule(delay, event._process_callbacks)
+
+    # -- factories -------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next scheduled callback."""
+        when, _seq, callback = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("event queue went backwards in time")
+        self.now = when
+        callback()
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or simulated time reaches ``until``.
+
+        Returns the simulated time at which execution stopped.
+        """
+        if until is not None and until < self.now:
+            raise ValueError(f"until={until} is in the past (now={self.now})")
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            self.step()
+        if until is not None:
+            self.now = until
+        return self.now
+
+    def run_until_complete(self, process: Process, limit: float = float("inf")) -> Any:
+        """Run until ``process`` finishes; return its value or raise its error.
+
+        ``limit`` bounds simulated time as a runaway guard.
+        """
+        while not process.triggered:
+            if not self._heap:
+                raise SimulationError(f"deadlock: {process!r} never completed and the event queue drained")
+            if self._heap[0][0] > limit:
+                raise SimulationError(f"time limit {limit} exceeded waiting for {process!r}")
+            self.step()
+        return process.value

@@ -1,0 +1,16 @@
+"""ibverbs-style user API over the RNIC model.
+
+:class:`~repro.verbs.api.DirectVerbs` is the unmodified "Mellanox OFED
+library + driver" path: control-path calls are generators (they take
+firmware-command time), data-path calls are plain functions that charge CPU
+cycles to the owning process.  MigrRDMA's guest library
+(:mod:`repro.core.guest_lib`) implements the same surface with its
+indirection underneath, so applications are written once against
+:class:`~repro.verbs.api.VerbsAPI` and run unchanged in either world —
+that is the paper's transparency requirement.
+"""
+
+from repro.verbs.api import DirectVerbs, VerbsAPI
+from repro.verbs.cm import CmConnection, CmError, ConnectionManager
+
+__all__ = ["CmConnection", "CmError", "ConnectionManager", "DirectVerbs", "VerbsAPI"]

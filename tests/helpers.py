@@ -1,0 +1,103 @@
+"""Shared test helpers: quickly build connected RDMA endpoints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro import cluster
+from repro.config import Config
+from repro.rnic import AccessFlags, QPType
+from repro.verbs import DirectVerbs, VerbsAPI
+
+
+@dataclass
+class Endpoint:
+    """One side of an RDMA conversation built for a test."""
+
+    server: cluster.Server
+    container: cluster.Container
+    process: cluster.AppProcess
+    lib: VerbsAPI
+    pd: object = None
+    cq: object = None
+    mr: object = None
+    qps: List[object] = field(default_factory=list)
+    buf_addr: int = 0
+    buf_len: int = 0
+
+    @property
+    def qp(self):
+        return self.qps[0]
+
+
+def make_endpoint(tb: cluster.Testbed, server: cluster.Server, name: str,
+                  lib_factory=None) -> Endpoint:
+    container = server.create_container(f"{name}-ct")
+    process = container.add_process(name)
+    if lib_factory is None:
+        lib = DirectVerbs(process, server.rnic)
+    else:
+        lib = lib_factory(process, server)
+    return Endpoint(server=server, container=container, process=process, lib=lib)
+
+
+def setup_endpoint(ep: Endpoint, buf_len: int = 65536, cq_depth: int = 4096,
+                   access: Optional[AccessFlags] = None):
+    """Generator: allocate PD, CQ, and one registered buffer."""
+    if access is None:
+        access = AccessFlags.all_remote()
+    ep.pd = yield from ep.lib.alloc_pd()
+    ep.cq = yield from ep.lib.create_cq(cq_depth)
+    vma = ep.process.space.mmap(buf_len, tag="data", name=f"{ep.process.name}-buf")
+    ep.buf_addr = vma.start
+    ep.buf_len = vma.length
+    ep.mr = yield from ep.lib.reg_mr(ep.pd, ep.buf_addr, buf_len, access)
+    return ep
+
+
+def create_connected_qps(tb: cluster.Testbed, a: Endpoint, b: Endpoint,
+                         count: int = 1, depth: int = 64,
+                         qp_type: QPType = QPType.RC):
+    """Generator: create and connect ``count`` QP pairs between a and b."""
+    for _ in range(count):
+        qa = yield from a.lib.create_qp(a.pd, qp_type, a.cq, a.cq, depth, depth)
+        qb = yield from b.lib.create_qp(b.pd, qp_type, b.cq, b.cq, depth, depth)
+        # Out-of-band exchange of QPNs (what applications do over sockets).
+        yield from a.lib.connect(qa, b.server.name, qb.qpn)
+        yield from b.lib.connect(qb, a.server.name, qa.qpn)
+        a.qps.append(qa)
+        b.qps.append(qb)
+    return a.qps, b.qps
+
+
+def build_pair(config: Optional[Config] = None, buf_len: int = 65536,
+               qp_count: int = 1, depth: int = 64, qp_type: QPType = QPType.RC):
+    """A fully-connected two-endpoint world, run to setup completion."""
+    tb = cluster.build(config=config)
+    a = make_endpoint(tb, tb.source, "alice")
+    b = make_endpoint(tb, tb.partners[0], "bob")
+
+    def setup():
+        yield from setup_endpoint(a, buf_len=buf_len)
+        yield from setup_endpoint(b, buf_len=buf_len)
+        if qp_count:
+            yield from create_connected_qps(tb, a, b, count=qp_count,
+                                            depth=depth, qp_type=qp_type)
+
+    tb.run(setup())
+    return tb, a, b
+
+
+def poll_until(tb: cluster.Testbed, lib: VerbsAPI, cq, n: int, timeout: float = 5.0):
+    """Generator: poll ``cq`` until ``n`` completions arrive; returns them."""
+    deadline = tb.sim.now + timeout
+    out = []
+    while len(out) < n:
+        got = lib.poll_cq(cq, n - len(out))
+        out.extend(got)
+        if not got:
+            if tb.sim.now > deadline:
+                raise TimeoutError(f"only {len(out)}/{n} completions before timeout")
+            yield tb.sim.timeout(1e-6)
+    return out

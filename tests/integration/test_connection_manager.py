@@ -1,0 +1,147 @@
+"""Integration: the rdma_cm-style connection manager — over plain verbs,
+over MigrRDMA (virtual values in the exchange), and across a migration."""
+
+import pytest
+
+from repro import cluster
+from repro.core import LiveMigration, MigrRdmaWorld
+from repro.rnic import AccessFlags, Opcode, RecvWR, SendWR
+from repro.verbs import DirectVerbs
+from repro.verbs.cm import CmError, ConnectionManager
+from repro.verbs.api import make_sge
+
+
+def make_side(tb, world, server, name):
+    ct = server.create_container(f"{name}-ct")
+    process = ct.add_process(name)
+    lib = world.make_lib(process, ct) if world else DirectVerbs(process, server.rnic)
+    holder = {"process": process, "lib": lib, "ct": ct}
+
+    def setup():
+        holder["pd"] = yield from lib.alloc_pd()
+        holder["cq"] = yield from lib.create_cq(256)
+        vma = process.space.mmap(65536, tag="data")
+        holder["addr"] = vma.start
+        holder["mr"] = yield from lib.reg_mr(holder["pd"], vma.start, 65536,
+                                             AccessFlags.all_remote())
+
+    tb.run(setup())
+    return holder
+
+
+def establish(tb, cm, client, server_holder, server_name, client_name, port=4791):
+    cm.listen(server_name, port, server_holder["lib"], server_holder["pd"],
+              server_holder["cq"],
+              private_data_factory=lambda: {
+                  "addr": server_holder["mr"].addr,
+                  "rkey": server_holder["mr"].rkey})
+    return tb.run(cm.connect(
+        client_name, server_name, port, client["lib"], client["pd"],
+        client["cq"], private_data=es_private(client)))
+
+
+def es_private(holder):
+    return {"addr": holder["mr"].addr, "rkey": holder["mr"].rkey}
+
+
+class TestDirectCm:
+    def test_listen_connect_and_transfer(self):
+        tb = cluster.build()
+        server_side = make_side(tb, None, tb.partners[0], "srv")
+        client_side = make_side(tb, None, tb.source, "cli")
+        cm = ConnectionManager(tb)
+        conn = establish(tb, cm, client_side, server_side, "partner0", "src")
+
+        # The exchanged private data carries the server's buffer coordinates.
+        assert conn.remote_private_data["rkey"] == server_side["mr"].rkey
+        client_side["process"].space.write(client_side["addr"], b"via rdma_cm")
+
+        def transfer():
+            client_side["lib"].post_send(conn.qp, SendWR(
+                wr_id=1, opcode=Opcode.RDMA_WRITE,
+                sges=[make_sge(client_side["mr"], 0, 11)],
+                remote_addr=conn.remote_private_data["addr"],
+                rkey=conn.remote_private_data["rkey"]))
+            while not client_side["lib"].poll_cq(client_side["cq"], 1):
+                yield tb.sim.timeout(1e-6)
+
+        tb.run(transfer())
+        assert server_side["process"].space.read(server_side["addr"], 11) == b"via rdma_cm"
+
+    def test_connect_without_listener_rejected(self):
+        tb = cluster.build()
+        client_side = make_side(tb, None, tb.source, "cli")
+        cm = ConnectionManager(tb)
+        with pytest.raises(CmError, match="no listener"):
+            tb.run(cm.connect("src", "partner0", 4791, client_side["lib"],
+                              client_side["pd"], client_side["cq"]))
+
+    def test_duplicate_bind_rejected(self):
+        tb = cluster.build()
+        server_side = make_side(tb, None, tb.partners[0], "srv")
+        cm = ConnectionManager(tb)
+        cm.listen("partner0", 4791, server_side["lib"], server_side["pd"],
+                  server_side["cq"])
+        with pytest.raises(CmError, match="already bound"):
+            cm.listen("partner0", 4791, server_side["lib"], server_side["pd"],
+                      server_side["cq"])
+
+    def test_listener_accept_list_and_callback(self):
+        tb = cluster.build()
+        server_side = make_side(tb, None, tb.partners[0], "srv")
+        client_side = make_side(tb, None, tb.source, "cli")
+        cm = ConnectionManager(tb)
+        seen = []
+        listener = cm.listen("partner0", 4791, server_side["lib"],
+                             server_side["pd"], server_side["cq"],
+                             on_connect=seen.append)
+        conn = tb.run(cm.connect("src", "partner0", 4791, client_side["lib"],
+                                 client_side["pd"], client_side["cq"],
+                                 private_data="hello-server"))
+        assert len(listener.accepted) == 1
+        assert seen[0].remote_private_data == "hello-server"
+        assert listener.accepted[0].remote_qpn == conn.qp.qpn
+
+
+class TestMigrRdmaCm:
+    def build_world(self):
+        tb = cluster.build()
+        world = MigrRdmaWorld(tb)
+        server_side = make_side(tb, world, tb.partners[0], "srv")
+        client_side = make_side(tb, world, tb.source, "cli")
+        cm = ConnectionManager(tb)
+        conn = establish(tb, cm, client_side, server_side, "partner0", "src")
+        return tb, world, server_side, client_side, cm, conn
+
+    def test_exchange_carries_virtual_values(self):
+        tb, world, server_side, client_side, cm, conn = self.build_world()
+        # The CM exchanged the *virtual* QPN; identical to physical only
+        # before any migration.
+        assert conn.remote_qpn == server_side["lib"].virt_qps[
+            list(server_side["lib"].virt_qps)[0]].qpn
+        assert conn.remote_private_data["rkey"] == server_side["mr"].rkey == 0
+
+    def test_cm_connection_survives_migration(self):
+        tb, world, server_side, client_side, cm, conn = self.build_world()
+        client_side["process"].space.write(client_side["addr"], b"before-mig")
+
+        def flow():
+            migration = LiveMigration(world, client_side["ct"], tb.destination)
+            report = yield from migration.run()
+            yield tb.sim.timeout(10e-3)
+            # The same CmConnection object keeps working after migration.
+            client_side["process"] = tb.destination.containers[
+                client_side["ct"].name].processes[0]
+            client_side["process"].space.write(client_side["addr"], b"after-mig!")
+            client_side["lib"].post_send(conn.qp, SendWR(
+                wr_id=7, opcode=Opcode.RDMA_WRITE,
+                sges=[make_sge(client_side["mr"], 0, 10)],
+                remote_addr=conn.remote_private_data["addr"],
+                rkey=conn.remote_private_data["rkey"]))
+            yield tb.sim.timeout(10e-3)
+            return report
+
+        tb.run(flow(), limit=120.0)
+        assert server_side["process"].space.read(
+            server_side["addr"], 10) == b"after-mig!"
+        assert not tb.sim.failed_processes, tb.sim.failed_processes[:3]

@@ -1,0 +1,69 @@
+"""Integration: Hadoop workload under baseline / MigrRDMA / failover."""
+
+import pytest
+
+from repro.apps.hadoop_scenarios import fast_test_config, run_scenario
+
+
+@pytest.fixture(scope="module")
+def dfsio_outcomes():
+    return {
+        scenario: run_scenario("dfsio", scenario, config=fast_test_config(),
+                               event_after_s=0.1)
+        for scenario in ("baseline", "migrrdma", "failover")
+    }
+
+
+class TestDfsio:
+    def test_all_scenarios_finish(self, dfsio_outcomes):
+        for scenario, outcome in dfsio_outcomes.items():
+            assert outcome.result.finished, scenario
+            assert outcome.result.total_bytes == 2 * 128 * 1024 * 1024
+
+    def test_jct_ordering(self, dfsio_outcomes):
+        """baseline < MigrRDMA << failover (the Figure 6 shape)."""
+        base = dfsio_outcomes["baseline"].jct_s
+        migr = dfsio_outcomes["migrrdma"].jct_s
+        fail = dfsio_outcomes["failover"].jct_s
+        assert base < migr < fail
+        # Migration adds little; failover pays detection + replay + redo.
+        assert (migr - base) < 0.5 * base + 2.0
+        assert (fail - migr) > 1.0
+
+    def test_throughput_ordering(self, dfsio_outcomes):
+        base = dfsio_outcomes["baseline"].tput_gbps()
+        migr = dfsio_outcomes["migrrdma"].tput_gbps()
+        fail = dfsio_outcomes["failover"].tput_gbps()
+        assert base > migr > fail
+
+    def test_migration_report_attached(self, dfsio_outcomes):
+        report = dfsio_outcomes["migrrdma"].migration_report
+        assert report is not None
+        assert report.blackout_s > 0
+        assert "RestoreRDMA" not in dict(report.breakdown.ordered())
+
+    def test_failover_redoes_work(self, dfsio_outcomes):
+        outcome = dfsio_outcomes["failover"]
+        assert outcome.failover_detected_at is not None
+        # The partially-written file is redone from the log.
+        assert outcome.result.redone_bytes >= 0
+
+
+class TestEstimatePi:
+    def test_baseline_vs_migrrdma(self):
+        base = run_scenario("estimatepi", "baseline", config=fast_test_config(),
+                            event_after_s=0.1)
+        migr = run_scenario("estimatepi", "migrrdma", config=fast_test_config(),
+                            event_after_s=0.1)
+        assert base.result.finished and migr.result.finished
+        assert base.jct_s < migr.jct_s
+        # The compute task only pays dump pauses + blackout, not transfer.
+        assert migr.jct_s - base.jct_s < 5.0
+
+    def test_failover_much_worse(self):
+        base = run_scenario("estimatepi", "baseline", config=fast_test_config(),
+                            event_after_s=0.1)
+        fail = run_scenario("estimatepi", "failover", config=fast_test_config(),
+                            event_after_s=0.1)
+        assert fail.result.finished
+        assert fail.jct_s - base.jct_s > 1.0

@@ -1,0 +1,86 @@
+"""Integration: the perftest latency (ping-pong) test, and the latency
+cost of MigrRDMA's virtualization + migration."""
+
+import pytest
+
+from repro import cluster
+from repro.apps.perftest import (
+    PerftestEndpoint,
+    connect_endpoints,
+    latency_percentiles,
+    run_pingpong,
+)
+from repro.core import LiveMigration, MigrRdmaWorld
+
+
+def build_lat_pair(world=None, tb=None):
+    tb = tb or cluster.build()
+    a = PerftestEndpoint(tb.source, world=world, mode="send", msg_size=64, depth=64)
+    b = PerftestEndpoint(tb.partners[0], world=world, mode="send", msg_size=64, depth=64)
+
+    def setup():
+        yield from a.setup(qp_budget=1)
+        yield from b.setup(qp_budget=1)
+        yield from connect_endpoints(a, b, qp_count=1)
+
+    tb.run(setup())
+    return tb, a, b
+
+
+class TestPingPong:
+    def test_rtt_in_physical_range(self):
+        tb, a, b = build_lat_pair()
+        rtts = tb.run(run_pingpong(tb, a, b, iters=200), limit=30.0)
+        assert len(rtts) == 200
+        p = latency_percentiles(rtts)
+        # One switch hop each way (~1 us propagation) + NIC processing:
+        # single-digit microseconds, like real RC SEND latency.
+        assert 2e-6 < p[50] < 15e-6
+        assert p[99] >= p[50]
+
+    def test_virtualization_latency_cost_is_nanoseconds(self):
+        """The few extra translation cycles are invisible at RTT scale."""
+        tb1, a1, b1 = build_lat_pair()
+        direct = tb1.run(run_pingpong(tb1, a1, b1, iters=200), limit=30.0)
+        tb2 = cluster.build()
+        world = MigrRdmaWorld(tb2)
+        tb2b, a2, b2 = build_lat_pair(world=world, tb=tb2)
+        virt = tb2.run(run_pingpong(tb2, a2, b2, iters=200), limit=30.0)
+        d50 = latency_percentiles(direct)[50]
+        v50 = latency_percentiles(virt)[50]
+        assert v50 >= d50 * 0.98  # never faster than direct (modulo noise)
+        assert v50 - d50 < 100e-9  # a handful of cycles, not microseconds
+
+    def test_latency_spike_bounded_by_blackout(self):
+        """A ping-pong running across a migration sees one large spike
+        (the blackout) and then returns to baseline."""
+        tb = cluster.build()
+        world = MigrRdmaWorld(tb)
+        tb, a, b = build_lat_pair(world=world, tb=tb)
+
+        def flow():
+            migration = {"report": None}
+
+            def migrate_later():
+                yield tb.sim.timeout(2e-3)
+                m = LiveMigration(world, a.container, tb.destination)
+                migration["report"] = yield from m.run()
+
+            mig_proc = tb.sim.spawn(migrate_later(), name="migration")
+            # 100 us think time between pings: the run spans the whole
+            # migration (~100+ ms) in a few thousand iterations.
+            rtts = yield from run_pingpong(tb, a, b, iters=2000, msg_size=64,
+                                           gap_s=100e-6)
+            yield mig_proc
+            return rtts, migration["report"]
+
+        rtts, report = tb.run(flow(), limit=300.0)
+        assert len(rtts) == 2000
+        baseline = latency_percentiles(rtts[:100])[50]
+        worst = max(rtts)
+        # The worst RTT is the one that straddled the blackout.
+        assert worst > 100 * baseline
+        assert worst < report.communication_blackout_s * 1.5
+        # And the tail of the run is back to baseline latency.
+        post = latency_percentiles(rtts[-100:])[50]
+        assert post < 3 * baseline

@@ -1,0 +1,102 @@
+"""Integration: aborting a migration during pre-copy (operator cancel).
+
+Pre-setup is non-destructive: the service keeps running on the source, the
+destination discards everything it pre-created, partners drop their
+replacement QPs and keep the originals — and a later migration of the same
+container still works.
+"""
+
+import pytest
+
+from repro import cluster
+from repro.apps.perftest import PerftestEndpoint, connect_endpoints
+from repro.core import LiveMigration, MigrRdmaWorld
+
+
+@pytest.fixture
+def env():
+    tb = cluster.build(num_partners=1)
+    world = MigrRdmaWorld(tb)
+    sender = PerftestEndpoint(tb.source, name="tx", world=world,
+                              mode="write", msg_size=16384, depth=8)
+    receiver = PerftestEndpoint(tb.partners[0], name="rx", world=world,
+                                mode="write", msg_size=16384, depth=8)
+
+    def setup():
+        yield from sender.setup(qp_budget=2)
+        yield from receiver.setup(qp_budget=2)
+        yield from connect_endpoints(sender, receiver, qp_count=2)
+
+    tb.run(setup())
+    # Pre-copy must have work to do, so the abort lands mid-iteration.
+    sender.process.set_synthetic_heap(512 * 1024 * 1024, 128 * 1024 * 1024)
+    return tb, world, sender, receiver
+
+
+def run_abort(tb, world, sender, abort_after_s):
+    sender.start_as_sender()
+
+    def flow():
+        migration = LiveMigration(world, sender.container, tb.destination)
+
+        def abort_later():
+            yield tb.sim.timeout(abort_after_s)
+            migration.abort()
+
+        tb.sim.spawn(abort_later(), name="abort")
+        report = yield from migration.run()
+        yield tb.sim.timeout(20e-3)
+        sender.stop()
+        yield tb.sim.timeout(5e-3)
+        return report
+
+    return tb.run(flow(), limit=300.0)
+
+
+class TestAbort:
+    def test_abort_mid_precopy_leaves_service_untouched(self, env):
+        tb, world, sender, receiver = env
+        dest_qps_before = len(tb.destination.rnic.qps)
+        report = run_abort(tb, world, sender, abort_after_s=60e-3)
+
+        assert report.aborted
+        assert report.t_suspend == 0.0  # never reached wait-before-stop
+        assert sender.stats.clean, sender.stats.status_errors[:3]
+        assert sender.stats.completed > 0
+        # Still on the source, still registered there.
+        assert sender.container.server is tb.source
+        assert sender.container.name in tb.source.containers
+        assert sender.process.pid in world.layer("src").processes
+        # The destination kept nothing.
+        assert len(tb.destination.rnic.qps) == dest_qps_before
+        assert sender.process.pid not in world.layer("dst").processes
+
+    def test_partner_replacement_qps_discarded(self, env):
+        tb, world, sender, receiver = env
+        partner_qps_before = len(tb.partners[0].rnic.qps)
+        run_abort(tb, world, sender, abort_after_s=60e-3)
+        agent = world.agent("partner0")
+        assert sender.container.container_id not in agent.pending_switch
+        # The pre-created replacement QPs were destroyed again.
+        assert len(tb.partners[0].rnic.qps) == partner_qps_before
+
+    def test_migration_after_abort_still_works(self, env):
+        tb, world, sender, receiver = env
+        run_abort(tb, world, sender, abort_after_s=60e-3)
+        sender.running = False
+
+        def second():
+            sender.start_as_sender()
+            yield tb.sim.timeout(5e-3)
+            migration = LiveMigration(world, sender.container, tb.destination)
+            report = yield from migration.run()
+            yield tb.sim.timeout(10e-3)
+            sender.stop()
+            yield tb.sim.timeout(5e-3)
+            return report
+
+        report = tb.run(second(), limit=300.0)
+        assert not report.aborted
+        assert sender.container.server is tb.destination
+        assert sender.stats.clean, sender.stats.status_errors[:3]
+        assert not tb.sim.failed_processes, tb.sim.failed_processes[:3]

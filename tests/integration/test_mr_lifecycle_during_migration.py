@@ -1,0 +1,125 @@
+"""Integration: MRs registered or destroyed *during* pre-copy (§3.2).
+
+"During memory pre-copy, the service running on the migration source may
+register new MRs.  These MRs may conflict with the memory of the live
+migration tool.  We restore the conflicting MRs at the end of
+stop-and-copy" — and resources destroyed after the pre-dump must not be
+resurrected on the destination.
+"""
+
+import pytest
+
+from repro import cluster
+from repro.apps.perftest import PerftestEndpoint, connect_endpoints
+from repro.core import LiveMigration, MigrRdmaWorld
+from repro.rnic import AccessFlags, Opcode, SendWR
+from repro.verbs.api import make_sge
+
+
+@pytest.fixture
+def env():
+    tb = cluster.build(num_partners=1)
+    world = MigrRdmaWorld(tb)
+    mover = PerftestEndpoint(tb.source, name="mover", world=world,
+                             mode="write", msg_size=8192, depth=8,
+                             verify_content=True)
+    peer = PerftestEndpoint(tb.partners[0], name="peer", world=world,
+                            mode="write", msg_size=8192, depth=8)
+
+    def setup():
+        yield from mover.setup(qp_budget=1)
+        yield from peer.setup(qp_budget=1)
+        yield from connect_endpoints(peer, mover, qp_count=1)  # peer writes to mover
+
+    tb.run(setup())
+    return tb, world, mover, peer
+
+
+def test_mr_registered_mid_precopy_is_restored_late(env):
+    tb, world, mover, peer = env
+    peer.start_as_sender()
+    holder = {}
+
+    def register_late():
+        # Runs while pre-copy is in flight: a brand-new buffer + MR.
+        vma = mover.process.space.mmap(16 * 4096, tag="data", name="late-buf")
+        mover.process.space.write(vma.start, b"fresh")
+        mr = yield from mover.lib.reg_mr(
+            mover.pd, vma.start, 16 * 4096, AccessFlags.all_remote())
+        holder["mr"] = mr
+        holder["addr"] = vma.start
+
+    # Drive the migration and the late registration concurrently.
+    def flow2():
+        # Dirty enough memory that pre-copy takes a couple of iterations.
+        mover.process.space.write(mover.buf_addr, b"x" * 65536)
+        migration = LiveMigration(world, mover.container, tb.destination,
+                                  precopy_iterations=3)
+        run = tb.sim.spawn(migration.run(), name="migration")
+
+        def late():
+            yield tb.sim.timeout(10e-3)
+            yield from register_late()
+
+        late_proc = tb.sim.spawn(late(), name="late-reg")
+        report = yield run
+        yield late_proc
+        yield tb.sim.timeout(10e-3)
+        # After migration, the peer writes into the late MR through a fresh
+        # rkey fetch from the destination.
+        conn = peer.connections[0]
+        peer.process.space.write(peer.buf_addr + 4096, b"late write")
+        peer.lib.post_send(conn.qp, SendWR(
+            wr_id=999999, opcode=Opcode.RDMA_WRITE,
+            sges=[make_sge(peer.mr, 4096, 10)],
+            remote_addr=holder["addr"] + 1024, rkey=holder["mr"].rkey))
+        yield tb.sim.timeout(10e-3)
+        peer.stop()
+        yield tb.sim.timeout(5e-3)
+        return report
+
+    report = tb.run(flow2(), limit=300.0)
+    restored = tb.destination.containers[mover.container.name].processes[0]
+    # The late buffer landed at its original address with its contents...
+    assert restored.space.read(holder["addr"], 5) == b"fresh"
+    # ...and the post-migration one-sided write through it worked.
+    assert restored.space.read(holder["addr"] + 1024, 10) == b"late write"
+    assert not tb.sim.failed_processes, tb.sim.failed_processes[:3]
+
+
+def test_mr_destroyed_mid_precopy_not_resurrected(env):
+    tb, world, mover, peer = env
+    holder = {}
+
+    def pre_register():
+        vma = mover.process.space.mmap(4096, tag="data", name="doomed")
+        mr = yield from mover.lib.reg_mr(
+            mover.pd, vma.start, 4096, AccessFlags.all_remote())
+        holder["mr"] = mr
+
+    tb.run(pre_register())
+    doomed_rid = holder["mr"].rid
+
+    def flow():
+        mover.process.space.write(mover.buf_addr, b"y" * 65536)
+        migration = LiveMigration(world, mover.container, tb.destination,
+                                  precopy_iterations=3)
+        run = tb.sim.spawn(migration.run(), name="migration")
+
+        def destroy_late():
+            yield tb.sim.timeout(10e-3)
+            yield from mover.lib.dereg_mr(holder["mr"])
+
+        late = tb.sim.spawn(destroy_late(), name="late-dereg")
+        report = yield run
+        yield late
+        return report
+
+    tb.run(flow(), limit=300.0)
+    state = world.layer(tb.destination.name).processes[mover.process.pid]
+    assert doomed_rid not in state.log
+    assert doomed_rid not in state.resources
+    # Its virtual keys are dead.
+    with pytest.raises(LookupError):
+        state.lkey_table.lookup(holder["mr"].lkey)
+    assert not tb.sim.failed_processes, tb.sim.failed_processes[:3]

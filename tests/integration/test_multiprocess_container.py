@@ -1,0 +1,67 @@
+"""Integration: migrating a container with multiple RDMA processes.
+
+The paper extends runc's Exec command so non-initial processes are
+restored too (§4, Table 2); here a container holds two processes, each
+with its own guest lib, QPs and traffic, and both survive the migration.
+"""
+
+import pytest
+
+from repro import cluster
+from repro.apps.perftest import PerftestEndpoint, connect_endpoints
+from repro.core import LiveMigration, MigrRdmaWorld
+
+
+def test_two_process_container_migrates():
+    tb = cluster.build(num_partners=1)
+    world = MigrRdmaWorld(tb)
+    shared_ct = tb.source.create_container("multi")
+
+    # Initial process ("docker run") and a non-initial one ("docker exec"),
+    # both with live RDMA to the same partner server.
+    first = PerftestEndpoint(tb.source, name="init-proc", world=world,
+                             container=shared_ct, mode="write",
+                             msg_size=16384, depth=8)
+    second = PerftestEndpoint(tb.source, name="exec-proc", world=world,
+                              container=shared_ct, mode="write",
+                              msg_size=16384, depth=8)
+    peer1 = PerftestEndpoint(tb.partners[0], name="peer1", world=world,
+                             mode="write", msg_size=16384, depth=8)
+    peer2 = PerftestEndpoint(tb.partners[0], name="peer2", world=world,
+                             mode="write", msg_size=16384, depth=8)
+
+    def setup():
+        yield from first.setup(qp_budget=1)
+        yield from second.setup(qp_budget=1)
+        yield from peer1.setup(qp_budget=1)
+        yield from peer2.setup(qp_budget=1)
+        yield from connect_endpoints(first, peer1, qp_count=1)
+        yield from connect_endpoints(second, peer2, qp_count=1)
+
+    tb.run(setup())
+    assert len(shared_ct.processes) == 2
+    first.start_as_sender()
+    second.start_as_sender()
+
+    def flow():
+        yield tb.sim.timeout(5e-3)
+        migration = LiveMigration(world, shared_ct, tb.destination)
+        report = yield from migration.run()
+        yield tb.sim.timeout(15e-3)
+        first.stop()
+        second.stop()
+        yield tb.sim.timeout(5e-3)
+        return report
+
+    report = tb.run(flow(), limit=300.0)
+    for endpoint in (first, second):
+        assert endpoint.stats.clean, (endpoint.name,
+                                      endpoint.stats.order_errors[:2],
+                                      endpoint.stats.status_errors[:2])
+        assert endpoint.stats.completed > 0
+        assert endpoint.container.server is tb.destination
+    # Both processes' RDMA state moved to the destination layer.
+    dest_layer = world.layer(tb.destination.name)
+    assert first.process.pid in dest_layer.processes
+    assert second.process.pid in dest_layer.processes
+    assert not tb.sim.failed_processes, tb.sim.failed_processes[:3]

@@ -1,0 +1,291 @@
+"""Integration: wait-before-stop corners — spotty networks (§3.4 last ¶),
+interrupt-mode CQs, SRQs, memory windows, on-chip memory across migration."""
+
+import pytest
+
+from repro import cluster
+from repro.apps.perftest import PerftestEndpoint, connect_endpoints
+from repro.core import LiveMigration, MigrRdmaWorld
+from repro.rnic import AccessFlags, Opcode, QPType, RecvWR, SendWR
+from repro.verbs.api import make_sge
+
+
+def fresh_world(num_partners=1, config=None):
+    tb = cluster.build(config=config, num_partners=num_partners)
+    world = MigrRdmaWorld(tb)
+    return tb, world
+
+
+class TestBuggyNetwork:
+    def test_wbs_timeout_then_replay(self):
+        """When the inflight window cannot drain within the upper bound
+        (a slow/spotty network), WBS gives up; the posted-but-not-completed
+        WRs are replayed after restore and everything still completes
+        exactly once, in order (§3.4 last ¶)."""
+        from repro.config import default_config
+
+        config = default_config()
+        # 64 x 256 KiB inflight needs ~1.3 ms on the wire; bound it at 0.2 ms.
+        config.migration.wbs_timeout_s = 0.0002
+        tb, world = fresh_world(config=config)
+        sender = PerftestEndpoint(tb.source, world=world, mode="write",
+                                  msg_size=256 * 1024, depth=64)
+        receiver = PerftestEndpoint(tb.partners[0], world=world, mode="write",
+                                    msg_size=256 * 1024, depth=64)
+
+        def setup():
+            yield from sender.setup(qp_budget=1)
+            yield from receiver.setup(qp_budget=1)
+            yield from connect_endpoints(sender, receiver, qp_count=1)
+
+        tb.run(setup())
+        sender.start_as_sender()
+
+        def flow():
+            yield tb.sim.timeout(3e-3)
+            migration = LiveMigration(world, sender.container, tb.destination)
+            report = yield from migration.run()
+            yield tb.sim.timeout(40e-3)
+            sender.stop()
+            yield tb.sim.timeout(20e-3)
+            return report
+
+        report = tb.run(flow(), limit=300.0)
+        assert report.wbs_timed_out
+        assert report.wbs_elapsed_s >= config.migration.wbs_timeout_s
+        assert sender.stats.order_errors == []
+        assert sender.stats.status_errors == []
+        assert sender.stats.completed > 0
+        # Every posted WR completed exactly once despite the replay.
+        conn = sender.connections[0]
+        assert conn.completed == conn.next_seq - conn.outstanding
+
+    def test_clean_network_never_times_out(self):
+        tb, world = fresh_world()
+        sender = PerftestEndpoint(tb.source, world=world, mode="write",
+                                  msg_size=16384, depth=8)
+        receiver = PerftestEndpoint(tb.partners[0], world=world, mode="write",
+                                    msg_size=16384, depth=8)
+
+        def setup():
+            yield from sender.setup(qp_budget=1)
+            yield from receiver.setup(qp_budget=1)
+            yield from connect_endpoints(sender, receiver, qp_count=1)
+
+        tb.run(setup())
+        sender.start_as_sender()
+
+        def flow():
+            yield tb.sim.timeout(3e-3)
+            migration = LiveMigration(world, sender.container, tb.destination)
+            report = yield from migration.run()
+            sender.stop()
+            yield tb.sim.timeout(10e-3)
+            return report
+
+        report = tb.run(flow(), limit=120.0)
+        assert not report.wbs_timed_out
+
+
+class TestCompletionChannelMigration:
+    def test_interrupt_mode_app_survives_migration(self):
+        tb, world = fresh_world()
+        source_ct = tb.source.create_container("ev-ct")
+        process = source_ct.add_process("ev-app")
+        lib = world.make_lib(process, source_ct)
+        peer = PerftestEndpoint(tb.partners[0], world=world, mode="send",
+                                msg_size=16384, depth=32)
+        state = {"received": 0, "running": True, "lib": lib, "process": process}
+
+        def setup():
+            yield from peer.setup(qp_budget=1)
+            pd = yield from lib.alloc_pd()
+            channel = yield from lib.create_comp_channel()
+            cq = yield from lib.create_cq(512, channel=channel)
+            vma = process.space.mmap(128 * 1024, tag="data", name="ev-buf")
+            mr = yield from lib.reg_mr(pd, vma.start, 128 * 1024, AccessFlags.all_remote())
+            qp = yield from lib.create_qp(pd, QPType.RC, cq, cq, 256, 256)
+            pconn = yield from peer.add_qp()
+            yield from lib.connect(qp, peer.server.name, pconn.qp.qpn)
+            yield from peer.lib.connect(pconn.qp, tb.source.name, qp.qpn)
+            pconn.remote_addr = vma.start
+            pconn.remote_rkey = mr.rkey
+            peer.connections[0].peer_name = "ev-app"
+            return pd, channel, cq, mr, qp
+
+        pd, channel, cq, mr, qp = tb.run(setup())
+
+        def event_loop():
+            # Prepost and consume via completion events (interrupt mode).
+            for i in range(256):
+                state["lib"].post_recv(qp, RecvWR(wr_id=i, sges=[make_sge(mr, 0, 32768)]))
+            while state["running"]:
+                state["lib"].req_notify_cq(cq)
+                vcq = yield from state["lib"].get_cq_event(channel)
+                state["lib"].ack_cq_events(channel, 1)
+                for wc in state["lib"].poll_cq(vcq, 64):
+                    if wc.opcode is Opcode.RECV and wc.ok:
+                        state["received"] += 1
+                        state["lib"].post_recv(
+                            qp, RecvWR(wr_id=wc.wr_id, sges=[make_sge(mr, 0, 32768)]))
+
+        class EventApp:
+            def on_migrated(self, session, restored):
+                state["process"] = session.processes[state["process"].pid]
+                state["process"].attach(tb.sim.spawn(event_loop(), name="ev-loop"))
+
+        source_ct.apps.append(EventApp())
+        process.attach(tb.sim.spawn(event_loop(), name="ev-loop"))
+        peer.start_as_sender()
+
+        def flow():
+            yield tb.sim.timeout(5e-3)
+            migration = LiveMigration(world, source_ct, tb.destination)
+            report = yield from migration.run()
+            yield tb.sim.timeout(20e-3)
+            peer.stop()
+            state["running"] = False
+            yield tb.sim.timeout(5e-3)
+            return report
+
+        report = tb.run(flow(), limit=120.0)
+        assert state["received"] > 0
+        assert peer.stats.order_errors == []
+        assert not report.wbs_timed_out
+
+
+class TestResourceMigration:
+    def _migrate_container(self, tb, world, container, settle=20e-3):
+        def flow():
+            migration = LiveMigration(world, container, tb.destination)
+            report = yield from migration.run()
+            yield tb.sim.timeout(settle)
+            return report
+
+        return tb.run(flow(), limit=120.0)
+
+    def test_on_chip_memory_restored_at_same_virtual_address(self):
+        tb, world = fresh_world()
+        ct = tb.source.create_container("dm-ct")
+        process = ct.add_process("dm-app")
+        lib = world.make_lib(process, ct)
+
+        def setup():
+            pd = yield from lib.alloc_pd()
+            dm = yield from lib.alloc_dm(8192)
+            process.space.write(dm.mapped_addr, b"on-chip payload")
+            mr = yield from lib.reg_dm_mr(pd, dm, AccessFlags.all_remote())
+            return pd, dm, mr
+
+        pd, dm, mr = tb.run(setup())
+        self._migrate_container(tb, world, ct)
+        restored = tb.destination.containers["dm-ct"].processes[0]
+        # Same virtual address, contents preserved, new NIC allocation made.
+        assert restored.space.read(dm.mapped_addr, 15) == b"on-chip payload"
+        assert tb.destination.rnic.dm_allocated >= 8192
+
+    def test_memory_window_rkey_survives(self):
+        tb, world = fresh_world()
+        sender = PerftestEndpoint(tb.partners[0], world=world, mode="write",
+                                  msg_size=512, depth=4)
+        target_ct = tb.source.create_container("mw-ct")
+        process = target_ct.add_process("mw-app")
+        lib = world.make_lib(process, target_ct)
+        world_state = {}
+
+        def setup():
+            yield from sender.setup(qp_budget=1)
+            pd = yield from lib.alloc_pd()
+            cq = yield from lib.create_cq(64)
+            vma = process.space.mmap(16 * 1024, tag="data", name="mw-buf")
+            mr = yield from lib.reg_mr(pd, vma.start, 16 * 1024, AccessFlags.all_remote())
+            qp = yield from lib.create_qp(pd, QPType.RC, cq, cq, 16, 16)
+            sconn = yield from sender.add_qp()
+            yield from lib.connect(qp, sender.server.name, sconn.qp.qpn)
+            yield from sender.lib.connect(sconn.qp, tb.source.name, qp.qpn)
+            mw = yield from lib.alloc_mw(pd)
+            lib.post_send(qp, SendWR(
+                wr_id=1, opcode=Opcode.BIND_MW, bind_mw=mw, bind_mr=mr,
+                remote_addr=vma.start, sges=[make_sge(mr, 0, 4096)],
+                bind_access=AccessFlags.REMOTE_WRITE | AccessFlags.REMOTE_READ))
+            while not lib.poll_cq(cq, 1):
+                yield tb.sim.timeout(1e-6)
+            world_state.update(pd=pd, cq=cq, mr=mr, qp=qp, mw=mw,
+                               sconn=sconn, addr=vma.start)
+
+        tb.run(setup())
+        mw = world_state["mw"]
+        sconn = world_state["sconn"]
+        vrkey = mw.rkey  # virtual rkey the partner was given out of band
+
+        def write_via_window(tag):
+            sender.process.space.write(sender.buf_addr, tag)
+            sender.lib.post_send(sconn.qp, SendWR(
+                wr_id=7, opcode=Opcode.RDMA_WRITE,
+                sges=[make_sge(sender.mr, 0, len(tag))],
+                remote_addr=world_state["addr"], rkey=vrkey))
+
+        def pre_flow():
+            write_via_window(b"before-mig")
+            yield tb.sim.timeout(2e-3)
+
+        tb.run(pre_flow())
+        assert process.space.read(world_state["addr"], 10) == b"before-mig"
+
+        self._migrate_container(tb, world, target_ct)
+
+        def post_flow():
+            write_via_window(b"after-mig!")
+            yield tb.sim.timeout(5e-3)
+
+        tb.run(post_flow())
+        restored = tb.destination.containers["mw-ct"].processes[0]
+        assert restored.space.read(world_state["addr"], 10) == b"after-mig!"
+        assert sender.stats.status_errors == []
+
+
+class TestSrqMigration:
+    def test_srq_pending_recvs_replayed(self):
+        tb, world = fresh_world()
+        ct = tb.source.create_container("srq-ct")
+        process = ct.add_process("srq-app")
+        lib = world.make_lib(process, ct)
+        peer = PerftestEndpoint(tb.partners[0], world=world, mode="send",
+                                msg_size=256, depth=8)
+        holder = {}
+
+        def setup():
+            yield from peer.setup(qp_budget=1)
+            pd = yield from lib.alloc_pd()
+            cq = yield from lib.create_cq(256)
+            srq = yield from lib.create_srq(pd, 128)
+            vma = process.space.mmap(64 * 1024, tag="data")
+            mr = yield from lib.reg_mr(pd, vma.start, 64 * 1024, AccessFlags.all_remote())
+            qp = yield from lib.create_qp(pd, QPType.RC, cq, cq, 16, 1, srq=srq)
+            pconn = yield from peer.add_qp()
+            yield from lib.connect(qp, peer.server.name, pconn.qp.qpn)
+            yield from peer.lib.connect(pconn.qp, tb.source.name, qp.qpn)
+            for i in range(32):
+                lib.post_srq_recv(srq, RecvWR(wr_id=i, sges=[make_sge(mr, i * 512, 512)]))
+            holder.update(pd=pd, cq=cq, srq=srq, mr=mr, qp=qp, pconn=pconn)
+
+        tb.run(setup())
+        self._assert_migration_and_delivery(tb, world, ct, lib, peer, holder)
+
+    def _assert_migration_and_delivery(self, tb, world, ct, lib, peer, holder):
+        def flow():
+            migration = LiveMigration(world, ct, tb.destination)
+            report = yield from migration.run()
+            # After migration the peer sends; the replayed SRQ recvs match.
+            peer.process.space.write(peer.buf_addr, b"post-migration-send")
+            peer.lib.post_send(holder["pconn"].qp, SendWR(
+                wr_id=77, opcode=Opcode.SEND, sges=[make_sge(peer.mr, 0, 19)]))
+            yield tb.sim.timeout(10e-3)
+            wcs = lib.poll_cq(holder["cq"], 64)
+            return report, wcs
+
+        report, wcs = tb.run(flow(), limit=120.0)
+        recv_wcs = [wc for wc in wcs if wc.opcode is Opcode.RECV]
+        assert len(recv_wcs) == 1
+        assert recv_wcs[0].ok
+        assert recv_wcs[0].byte_len == 19

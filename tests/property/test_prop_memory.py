@@ -1,0 +1,109 @@
+"""Property-based tests: the memory substrate behaves like flat bytes."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import PAGE_SIZE
+from repro.mem import AddressSpace, MemoryError_, PageStore
+
+STORE_PAGES = 4
+STORE_LEN = STORE_PAGES * PAGE_SIZE
+
+write_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=STORE_LEN - 1),
+        st.binary(min_size=1, max_size=512),
+    ),
+    min_size=1, max_size=30,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=write_ops)
+def test_pagestore_matches_flat_buffer(ops):
+    """A PageStore is indistinguishable from one flat bytearray."""
+    store = PageStore(STORE_LEN)
+    reference = bytearray(STORE_LEN)
+    for offset, data in ops:
+        data = data[: STORE_LEN - offset]
+        store.write(offset, data)
+        reference[offset:offset + len(data)] = data
+    assert store.read(0, STORE_LEN) == bytes(reference)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=write_ops)
+def test_snapshot_install_roundtrip(ops):
+    """Migrating all dirty pages reproduces the source exactly."""
+    src = PageStore(STORE_LEN)
+    for offset, data in ops:
+        src.write(offset, data[: STORE_LEN - offset])
+    dst = PageStore(STORE_LEN)
+    dst.install_pages(src.snapshot_pages(src.dirty_pages))
+    assert dst.read(0, STORE_LEN) == src.read(0, STORE_LEN)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=write_ops, moves=st.integers(min_value=1, max_value=4))
+def test_mremap_preserves_contents(ops, moves):
+    """Contents survive any chain of mremap relocations (the §3.2/§3.3
+    restore primitive)."""
+    space = AddressSpace("prop")
+    base = 0x1000_0000
+    space.mmap(STORE_LEN, addr=base)
+    reference = bytearray(STORE_LEN)
+    for offset, data in ops:
+        data = data[: STORE_LEN - offset]
+        space.write(base + offset, data)
+        reference[offset:offset + len(data)] = data
+    addr = base
+    for i in range(moves):
+        new_addr = base + (i + 1) * 0x100_0000
+        space.mremap(addr, new_addr)
+        addr = new_addr
+    assert space.read(addr, STORE_LEN) == bytes(reference)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.filter_too_much])
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["mmap", "munmap"]),
+                  st.integers(min_value=0, max_value=15),
+                  st.integers(min_value=1, max_value=4)),
+        min_size=1, max_size=40,
+    )
+)
+def test_address_space_never_overlaps(ops):
+    """No operation sequence can produce overlapping VMAs."""
+    space = AddressSpace("prop")
+    base = 0x2000_0000
+    for op, slot, pages in ops:
+        addr = base + slot * 16 * PAGE_SIZE
+        if op == "mmap":
+            try:
+                space.mmap(pages * PAGE_SIZE, addr=addr)
+            except MemoryError_:
+                pass
+        else:
+            try:
+                space.munmap(addr)
+            except MemoryError_:
+                pass
+        vmas = space.vmas
+        for a, b in zip(vmas, vmas[1:]):
+            assert a.end <= b.start
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_reads_never_cross_into_unmapped(data):
+    space = AddressSpace("prop")
+    space.mmap(2 * PAGE_SIZE, addr=0x3000_0000)
+    offset = data.draw(st.integers(min_value=0, max_value=2 * PAGE_SIZE))
+    size = data.draw(st.integers(min_value=1, max_value=3 * PAGE_SIZE))
+    if offset + size <= 2 * PAGE_SIZE:
+        assert len(space.read(0x3000_0000 + offset, size)) == size
+    else:
+        with pytest.raises(MemoryError_):
+            space.read(0x3000_0000 + offset, size)

@@ -1,0 +1,98 @@
+"""Property-based tests: RC delivery invariants on the RNIC model."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.rnic import Opcode, SendWR, WCStatus
+from repro.verbs.api import make_sge
+
+from tests.helpers import build_pair, poll_until
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=8192), min_size=1, max_size=24),
+    loss=st.sampled_from([0.0, 0.0, 0.01, 0.05]),
+)
+def test_rc_writes_complete_in_order_with_exact_bytes(sizes, loss):
+    """Any mix of WRITE sizes under any (modest) loss: completions arrive
+    in posting order, all succeed, and the payloads land intact."""
+    tb, a, b = build_pair(buf_len=max(65536, max(sizes) * 2), depth=32)
+    tb.network.set_loss_rate(loss)
+    payloads = [bytes([(i * 37 + j) % 251 for j in range(size)])
+                for i, size in enumerate(sizes)]
+
+    def driver():
+        offset = 0
+        offsets = []
+        for i, (size, payload) in enumerate(zip(sizes, payloads)):
+            a.process.space.write(a.buf_addr + offset, payload)
+            a.lib.post_send(a.qp, SendWR(
+                wr_id=i, opcode=Opcode.RDMA_WRITE,
+                sges=[make_sge(a.mr, offset, size)],
+                remote_addr=b.mr.addr + offset, rkey=b.mr.rkey))
+            offsets.append(offset)
+            offset += size
+            # Respect the queue depth.
+            if a.qp.send_inflight >= 24:
+                yield from poll_until(tb, a.lib, a.cq, 1, timeout=30.0)
+        while a.qp.send_inflight:
+            yield from poll_until(tb, a.lib, a.cq, 1, timeout=30.0)
+        return offsets
+
+    offsets = tb.run(driver(), limit=120.0)
+    for i, (size, payload) in enumerate(zip(sizes, payloads)):
+        assert b.process.space.read(b.buf_addr + offsets[i], size) == payload
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(count=st.integers(min_value=1, max_value=30),
+       loss=st.sampled_from([0.0, 0.02]))
+def test_sends_never_duplicated_or_reordered(count, loss):
+    from repro.rnic import RecvWR
+
+    tb, a, b = build_pair(buf_len=65536, depth=32)
+    tb.network.set_loss_rate(loss)
+
+    def driver():
+        for i in range(count):
+            b.lib.post_recv(b.qp, RecvWR(wr_id=i, sges=[make_sge(b.mr, 0, 256)]))
+        for i in range(count):
+            a.lib.post_send(a.qp, SendWR(wr_id=i, opcode=Opcode.SEND,
+                                         sges=[make_sge(a.mr, 0, 128)]))
+        send_wcs = yield from poll_until(tb, a.lib, a.cq, count, timeout=30.0)
+        recv_wcs = yield from poll_until(tb, b.lib, b.cq, count, timeout=30.0)
+        return send_wcs, recv_wcs
+
+    send_wcs, recv_wcs = tb.run(driver(), limit=120.0)
+    assert [wc.wr_id for wc in send_wcs] == list(range(count))
+    assert [wc.wr_id for wc in recv_wcs] == list(range(count))
+    assert all(wc.status is WCStatus.SUCCESS for wc in send_wcs + recv_wcs)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(adds=st.lists(st.integers(min_value=0, max_value=2**32), min_size=1, max_size=16))
+def test_atomic_fetch_add_is_sequentially_consistent(adds):
+    """FADD results must equal the prefix sums regardless of timing."""
+    tb, a, b = build_pair(buf_len=65536, depth=32)
+
+    def driver():
+        b.process.space.write(b.mr.addr, (0).to_bytes(8, "little"))
+        for i, value in enumerate(adds):
+            a.lib.post_send(a.qp, SendWR(
+                wr_id=i, opcode=Opcode.ATOMIC_FETCH_AND_ADD,
+                sges=[make_sge(a.mr, i * 8, 8)],
+                remote_addr=b.mr.addr, rkey=b.mr.rkey, compare_add=value))
+        yield from poll_until(tb, a.lib, a.cq, len(adds), timeout=30.0)
+
+    tb.run(driver(), limit=60.0)
+    prefix = 0
+    for i, value in enumerate(adds):
+        returned = int.from_bytes(a.process.space.read(a.buf_addr + i * 8, 8), "little")
+        assert returned == prefix
+        prefix = (prefix + value) % (1 << 64)
+    final = int.from_bytes(b.process.space.read(b.mr.addr, 8), "little")
+    assert final == prefix

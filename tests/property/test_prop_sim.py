@@ -1,0 +1,82 @@
+"""Property-based tests: the event kernel's ordering guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False),
+                min_size=1, max_size=50))
+def test_callbacks_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append((sim.now, d)))
+    sim.run()
+    times = [t for t, _ in fired]
+    assert times == sorted(times)
+    assert sorted(d for _, d in fired) == sorted(delays)
+    for t, d in fired:
+        assert t == d
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=30))
+def test_fifo_among_equal_times(groups):
+    """Callbacks scheduled for the same instant run in scheduling order."""
+    sim = Simulator()
+    fired = []
+    for index, group in enumerate(groups):
+        sim.schedule(float(group), lambda i=index: fired.append(i))
+    sim.run()
+    by_time = {}
+    for index in fired:
+        by_time.setdefault(groups[index], []).append(index)
+    for indices in by_time.values():
+        assert indices == sorted(indices)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=1e-9, max_value=10, allow_nan=False),
+                min_size=1, max_size=20))
+def test_sequential_timeouts_accumulate_exactly(delays):
+    sim = Simulator()
+
+    def proc():
+        for delay in delays:
+            yield sim.timeout(delay)
+        return sim.now
+
+    total = sim.run_until_complete(sim.spawn(proc()))
+    expected = 0.0
+    for delay in delays:
+        expected += delay
+    assert total == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=5, allow_nan=False),
+                min_size=1, max_size=10))
+def test_all_of_completes_at_max(delays):
+    sim = Simulator()
+
+    def proc():
+        yield sim.all_of([sim.timeout(d) for d in delays])
+        return sim.now
+
+    assert sim.run_until_complete(sim.spawn(proc())) == max(delays)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.001, max_value=5, allow_nan=False),
+                min_size=1, max_size=10))
+def test_any_of_completes_at_min(delays):
+    sim = Simulator()
+
+    def proc():
+        yield sim.any_of([sim.timeout(d) for d in delays])
+        return sim.now
+
+    assert sim.run_until_complete(sim.spawn(proc())) == min(delays)

@@ -1,0 +1,86 @@
+"""Property-based tests: translation tables against dict reference models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import ResourceLog, ResourceRecord
+from repro.core.translation import LinkedListTable, LkeyTable, QpnTable
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=(1 << 24) - 1),
+                          st.integers(min_value=0, max_value=(1 << 24) - 1)),
+                max_size=50))
+def test_qpn_table_matches_dict(pairs):
+    table = QpnTable()
+    reference = {}
+    for physical, virtual in pairs:
+        table.set(physical, virtual)
+        reference[physical] = virtual
+    for physical, virtual in reference.items():
+        assert table.lookup(physical) == virtual
+    assert len(table) == len(reference)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.data())
+def test_lkey_table_matches_model(data):
+    """allocate/update/release against a list model; keys stay dense."""
+    table = LkeyTable()
+    model = []  # index = vkey
+    ops = data.draw(st.lists(st.sampled_from(["alloc", "update", "release"]),
+                             min_size=1, max_size=60))
+    for op in ops:
+        if op == "alloc":
+            physical = data.draw(st.integers(min_value=1, max_value=2**32))
+            vkey = table.allocate(physical)
+            assert vkey == len(model)  # dense, sequential
+            model.append(physical)
+        elif op == "update" and any(p is not None for p in model):
+            live = [i for i, p in enumerate(model) if p is not None]
+            vkey = data.draw(st.sampled_from(live))
+            physical = data.draw(st.integers(min_value=1, max_value=2**32))
+            table.update(vkey, physical)
+            model[vkey] = physical
+        elif op == "release" and any(p is not None for p in model):
+            live = [i for i, p in enumerate(model) if p is not None]
+            vkey = data.draw(st.sampled_from(live))
+            table.release(vkey)
+            model[vkey] = None
+    for vkey, physical in enumerate(model):
+        if physical is not None:
+            assert table.lookup(vkey) == physical
+    assert len(table) == sum(1 for p in model if p is not None)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=80))
+def test_linked_list_lookup_correct_under_any_access_pattern(accesses):
+    """Move-to-front must never change the mapping."""
+    table = LinkedListTable()
+    for vkey in range(31):
+        table.insert(vkey, vkey * 17 + 3)
+    for vkey in accesses:
+        assert table.lookup(vkey) == vkey * 17 + 3
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_resource_log_matches_ordered_dict_model(data):
+    """Random create/destroy keeps creation order of the survivors."""
+    log = ResourceLog()
+    model = []  # list of rids in creation order
+    next_rid = [1]
+    ops = data.draw(st.lists(st.sampled_from(["add", "remove"]),
+                             min_size=1, max_size=60))
+    for op in ops:
+        if op == "add":
+            rid = next_rid[0]
+            next_rid[0] += 1
+            log.add(ResourceRecord(rid=rid, kind="mr", pid=1))
+            model.append(rid)
+        elif model:
+            victim = data.draw(st.sampled_from(model))
+            log.remove(victim)
+            model.remove(victim)
+    assert [r.rid for r in log.in_creation_order()] == model

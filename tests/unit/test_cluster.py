@@ -1,0 +1,120 @@
+"""Unit tests for servers, containers, processes and the testbed."""
+
+import pytest
+
+from repro import cluster
+from repro.config import default_config
+from repro.sim import Interrupt
+
+
+class TestAppProcess:
+    def test_freeze_interrupts_attached(self):
+        tb = cluster.build()
+        ct = tb.source.create_container("c")
+        process = ct.add_process("p")
+        seen = []
+
+        def loop():
+            try:
+                while True:
+                    yield tb.sim.timeout(1e-3)
+                    seen.append(tb.sim.now)
+            except Interrupt:
+                seen.append("interrupted")
+
+        process.attach(tb.sim.spawn(loop()))
+        tb.sim.schedule(2.5e-3, process.freeze)
+        tb.sim.run(until=5e-3)
+        assert seen == [1e-3, 2e-3, "interrupted"]
+        assert process.frozen
+
+    def test_live_process_tracking_prunes_dead(self):
+        tb = cluster.build()
+        ct = tb.source.create_container("c")
+        process = ct.add_process("p")
+
+        def short():
+            yield tb.sim.timeout(1e-3)
+
+        process.attach(tb.sim.spawn(short()))
+        tb.sim.run()
+        assert process.live_sim_processes() == []
+
+    def test_synthetic_heap_dirty_accounting(self):
+        tb = cluster.build()
+        ct = tb.source.create_container("c")
+        process = ct.add_process("p")
+        process.set_synthetic_heap(1000_000, dirty_rate_bps=100_000)
+        # First snapshot ships everything.
+        assert process.synthetic_dirty_bytes(now=0.0, full=True) == 1000_000
+        # After 2 seconds at 100 KB/s, 200 KB are dirty.
+        assert process.synthetic_dirty_bytes(now=2.0, full=False) == 200_000
+        # Immediately again: nothing new.
+        assert process.synthetic_dirty_bytes(now=2.0, full=False) == 0
+        # Dirty volume never exceeds the heap.
+        assert process.synthetic_dirty_bytes(now=1e9, full=False) == 1000_000
+
+
+class TestContainer:
+    def test_pause_for_blocks_cooperative_loops(self):
+        tb = cluster.build()
+        ct = tb.source.create_container("c")
+        marks = []
+
+        def loop():
+            for _ in range(3):
+                yield from ct.wait_if_paused(tb.sim)
+                marks.append(tb.sim.now)
+                yield tb.sim.timeout(1e-3)
+
+        tb.sim.spawn(loop())
+        ct.pause_for(tb.sim, 5e-3)
+        tb.sim.run()
+        assert marks[0] == pytest.approx(5e-3)
+
+    def test_duplicate_container_name_rejected(self):
+        tb = cluster.build()
+        tb.source.create_container("x")
+        with pytest.raises(ValueError):
+            tb.source.create_container("x")
+
+    def test_adopt_rehomes(self):
+        tb = cluster.build()
+        ct = tb.source.create_container("x")
+        tb.source.remove_container("x")
+        tb.destination.adopt_container(ct)
+        assert ct.server is tb.destination
+        assert "x" in tb.destination.containers
+
+
+class TestTestbed:
+    def test_topology(self):
+        tb = cluster.build(num_partners=3)
+        assert [s.name for s in tb.servers] == [
+            "src", "dst", "partner0", "partner1", "partner2"]
+        assert tb.server("partner1") is tb.partners[1]
+        with pytest.raises(LookupError):
+            tb.server("nowhere")
+
+    def test_channels_cached_and_symmetric(self):
+        tb = cluster.build()
+        a = tb.channel("src", "dst")
+        b = tb.channel("dst", "src")
+        assert a is b
+        with pytest.raises(ValueError):
+            tb.channel("src", "src")
+
+    def test_run_accepts_generators(self):
+        tb = cluster.build()
+
+        def gen():
+            yield tb.sim.timeout(1.0)
+            return "done"
+
+        assert tb.run(gen()) == "done"
+
+    def test_config_is_shared(self):
+        config = default_config()
+        config.link.rate_bps = 25e9
+        tb = cluster.build(config=config)
+        assert tb.source.node.port.rate_bps == 25e9

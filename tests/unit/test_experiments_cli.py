@@ -1,0 +1,44 @@
+"""Unit tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.experiments import main, sparkline
+
+
+class TestSparkline:
+    def test_renders_scaled_blocks(self):
+        line = sparkline([0, 50, 100], width=3)
+        assert len(line) == 3
+        assert line[0] == " " and line[-1] == "█"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_downsamples_to_width(self):
+        line = sparkline([1.0] * 1000, width=50)
+        assert len(line) <= 51
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig3", "fig4", "fig5", "table4", "fig6", "migros"):
+            assert name in out
+
+    def test_fig3_small(self, capsys):
+        assert main(["fig3", "--qps", "4", "--migrate", "sender"]) == 0
+        out = capsys.readouterr().out
+        assert "sender/pre" in out
+        assert "sender/nopre" in out
+        assert "RestoreRDMA" in out
+
+    def test_migros_small(self, capsys):
+        assert main(["migros", "--qps", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "slowdown" in out
+        assert "x" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])

@@ -1,0 +1,173 @@
+"""Unit tests for the fabric: ports, network delivery, loss, TCP channel."""
+
+import pytest
+
+from repro.config import default_config
+from repro.fabric import Message, Network, TcpChannel
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def net(sim):
+    network = Network(sim, default_config())
+    network.add_node("a")
+    network.add_node("b")
+    return network
+
+
+class TestPort:
+    def test_serialization_time(self, sim, net):
+        port = net.node("a").port
+        # 100 Gbps: 12500 bytes take 1 us.
+        assert port.serialization_time(12500) == pytest.approx(1e-6)
+
+    def test_transmissions_serialize(self, sim, net):
+        port = net.node("a").port
+        done = []
+        port.transmit(12500, lambda: done.append(sim.now))
+        port.transmit(12500, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(1e-6), pytest.approx(2e-6)]
+
+    def test_bytes_counter(self, sim, net):
+        port = net.node("a").port
+        port.transmit(1000)
+        port.transmit(2000)
+        sim.run()
+        assert port.bytes_sent == 3000
+
+    def test_bad_rate_rejected(self, sim):
+        from repro.fabric import Port
+
+        with pytest.raises(ValueError):
+            Port(sim, 0)
+
+
+class TestNetwork:
+    def test_delivery_includes_propagation(self, sim, net):
+        received = []
+        net.node("b").register_handler("test", lambda m: received.append(sim.now))
+        net.node("a").send(Message("a", "b", "test", 12500))
+        sim.run()
+        # 1 us serialization + 1 us propagation
+        assert received == [pytest.approx(2e-6)]
+
+    def test_unknown_destination_rejected(self, sim, net):
+        with pytest.raises(LookupError):
+            net.node("a").send(Message("a", "nowhere", "test", 10))
+
+    def test_wrong_src_rejected(self, sim, net):
+        with pytest.raises(ValueError):
+            net.node("a").send(Message("b", "a", "test", 10))
+
+    def test_duplicate_node_rejected(self, sim, net):
+        with pytest.raises(ValueError):
+            net.add_node("a")
+
+    def test_no_handler_raises_at_delivery(self, sim, net):
+        net.node("a").send(Message("a", "b", "unhandled", 10))
+        with pytest.raises(LookupError):
+            sim.run()
+
+    def test_duplicate_handler_rejected(self, sim, net):
+        net.node("b").register_handler("p", lambda m: None)
+        with pytest.raises(ValueError):
+            net.node("b").register_handler("p", lambda m: None)
+
+    def test_loss_drops_messages(self, sim, net):
+        net.set_loss_rate(0.999)
+        received = []
+        net.node("b").register_handler("test", received.append)
+        for _ in range(50):
+            net.node("a").send(Message("a", "b", "test", 100))
+        sim.run()
+        assert net.messages_dropped > 0
+        assert len(received) < 50
+
+    def test_loss_rate_validation(self, net):
+        with pytest.raises(ValueError):
+            net.set_loss_rate(1.0)
+        with pytest.raises(ValueError):
+            net.set_loss_rate(-0.1)
+
+    def test_negative_message_size_rejected(self):
+        with pytest.raises(ValueError):
+            Message("a", "b", "p", -1)
+
+
+class TestTcpChannel:
+    def test_transfer_time_matches_goodput(self, sim, net):
+        channel = TcpChannel(net, "a", "b", rate_bps=40e9)
+        nbytes = 100 * 1024 * 1024
+
+        process = sim.spawn(channel.transfer(nbytes))
+        elapsed = sim.run_until_complete(process)
+        ideal = nbytes * 8 / 40e9
+        assert elapsed >= ideal
+        assert elapsed < ideal * 1.2
+
+    def test_zero_byte_transfer_costs_overhead_only(self, sim, net):
+        channel = TcpChannel(net, "a", "b")
+        elapsed = sim.run_until_complete(sim.spawn(channel.transfer(0)))
+        assert elapsed == pytest.approx(net.config.migration.per_message_overhead_s)
+
+    def test_transfer_survives_loss(self, sim, net):
+        net.set_loss_rate(0.05)
+        channel = TcpChannel(net, "a", "b", rate_bps=40e9)
+        nbytes = 8 * 1024 * 1024
+        elapsed = sim.run_until_complete(sim.spawn(channel.transfer(nbytes)))
+        assert channel.bytes_delivered >= nbytes  # all segments arrived (some twice)
+        clean = nbytes * 8 / 40e9
+        assert elapsed > clean  # loss inflates the transfer
+
+    def test_rpc_roundtrip(self, sim, net):
+        channel = TcpChannel(net, "a", "b")
+        channel.set_rpc_handler(lambda request: ({"echo": request}, 128))
+
+        def client():
+            response = yield from channel.rpc({"q": 1})
+            return response
+
+        assert sim.run_until_complete(sim.spawn(client())) == {"echo": {"q": 1}}
+
+    def test_rpc_without_handler_raises(self, sim, net):
+        channel = TcpChannel(net, "a", "b")
+        process = sim.spawn(channel.rpc({"q": 1}))
+        with pytest.raises(LookupError):
+            sim.run_until_complete(process)
+
+    def test_rpc_survives_loss(self, sim, net):
+        net.set_loss_rate(0.3)
+        channel = TcpChannel(net, "a", "b")
+        calls = []
+
+        def handler(request):
+            calls.append(request)
+            return ("ok", 64)
+
+        channel.set_rpc_handler(handler)
+        result = sim.run_until_complete(sim.spawn(channel.rpc("ping")))
+        assert result == "ok"
+
+    def test_rpc_from_remote_side(self, sim, net):
+        channel = TcpChannel(net, "a", "b")
+        channel.set_rpc_handler(lambda request: ("pong", 64))
+        result = sim.run_until_complete(sim.spawn(channel.rpc("ping", src="b")))
+        assert result == "pong"
+
+    def test_close_unregisters_handlers(self, sim, net):
+        channel = TcpChannel(net, "a", "b")
+        channel.close()
+        TcpChannel(net, "a", "b")  # re-registering must not raise
+
+    def test_estimate_close_to_actual(self, sim, net):
+        channel = TcpChannel(net, "a", "b", rate_bps=40e9)
+        nbytes = 16 * 1024 * 1024
+        estimate = channel.transfer_time_estimate(nbytes)
+        actual = sim.run_until_complete(sim.spawn(channel.transfer(nbytes)))
+        assert actual == pytest.approx(estimate, rel=0.25)

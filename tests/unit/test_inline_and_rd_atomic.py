@@ -1,0 +1,175 @@
+"""Unit tests for IBV_SEND_INLINE semantics and the max_rd_atomic
+initiator-depth limit."""
+
+import pytest
+
+from repro.rnic import Opcode, RecvWR, SendWR, WCStatus
+from repro.verbs.api import make_sge
+
+from tests.helpers import build_pair, poll_until
+
+
+class TestInline:
+    def test_inline_send_delivers(self):
+        tb, a, b = build_pair()
+        a.process.space.write(a.buf_addr, b"inline hello")
+
+        def driver():
+            b.lib.post_recv(b.qp, RecvWR(wr_id=2, sges=[make_sge(b.mr, 0, 64)]))
+            a.lib.post_send(a.qp, SendWR(
+                wr_id=1, opcode=Opcode.SEND, inline=True,
+                sges=[make_sge(a.mr, 0, 12)]))
+            return (yield from poll_until(tb, b.lib, b.cq, 1))
+
+        wcs = tb.run(driver())
+        assert wcs[0].ok
+        assert b.process.space.read(b.buf_addr, 12) == b"inline hello"
+
+    def test_inline_buffer_immediately_reusable(self):
+        """The defining property: overwriting the buffer right after post
+        does not corrupt the message (a non-inline WR would pick up the
+        overwrite, since the NIC gathers asynchronously)."""
+        tb, a, b = build_pair()
+
+        def driver():
+            b.lib.post_recv(b.qp, RecvWR(wr_id=1, sges=[make_sge(b.mr, 0, 64)]))
+            b.lib.post_recv(b.qp, RecvWR(wr_id=2, sges=[make_sge(b.mr, 64, 64)]))
+            a.process.space.write(a.buf_addr, b"first!")
+            a.lib.post_send(a.qp, SendWR(
+                wr_id=1, opcode=Opcode.SEND, inline=True,
+                sges=[make_sge(a.mr, 0, 6)]))
+            a.process.space.write(a.buf_addr, b"CLOBBE")  # reuse immediately
+            a.lib.post_send(a.qp, SendWR(
+                wr_id=2, opcode=Opcode.SEND, inline=True,
+                sges=[make_sge(a.mr, 0, 6)]))
+            yield from poll_until(tb, b.lib, b.cq, 2)
+
+        tb.run(driver())
+        assert b.process.space.read(b.buf_addr, 6) == b"first!"
+        assert b.process.space.read(b.buf_addr + 64, 6) == b"CLOBBE"
+
+    def test_inline_write_works(self):
+        tb, a, b = build_pair()
+        a.process.space.write(a.buf_addr, b"inline write")
+
+        def driver():
+            a.lib.post_send(a.qp, SendWR(
+                wr_id=1, opcode=Opcode.RDMA_WRITE, inline=True,
+                sges=[make_sge(a.mr, 0, 12)],
+                remote_addr=b.mr.addr, rkey=b.mr.rkey))
+            return (yield from poll_until(tb, a.lib, a.cq, 1))
+
+        wcs = tb.run(driver())
+        assert wcs[0].ok
+        assert b.process.space.read(b.buf_addr, 12) == b"inline write"
+
+    def test_inline_read_rejected(self):
+        tb, a, b = build_pair()
+        with pytest.raises(ValueError, match="inline"):
+            a.lib.post_send(a.qp, SendWR(
+                wr_id=1, opcode=Opcode.RDMA_READ, inline=True,
+                sges=[make_sge(a.mr, 0, 8)],
+                remote_addr=b.mr.addr, rkey=b.mr.rkey))
+
+    def test_inline_size_limit(self):
+        tb, a, b = build_pair()
+        with pytest.raises(ValueError, match="max_inline_data"):
+            a.lib.post_send(a.qp, SendWR(
+                wr_id=1, opcode=Opcode.SEND, inline=True,
+                sges=[make_sge(a.mr, 0, 4096)]))
+
+    def test_inline_needs_no_valid_lkey(self):
+        """Inline payloads bypass lkey checks entirely."""
+        from repro.rnic import SGE
+
+        tb, a, b = build_pair()
+        a.process.space.write(a.buf_addr, b"no lkey")
+
+        def driver():
+            b.lib.post_recv(b.qp, RecvWR(wr_id=1, sges=[make_sge(b.mr, 0, 64)]))
+            a.lib.post_send(a.qp, SendWR(
+                wr_id=1, opcode=Opcode.SEND, inline=True,
+                sges=[SGE(a.buf_addr, 7, 0xBADBAD)]))
+            return (yield from poll_until(tb, b.lib, b.cq, 1))
+
+        wcs = tb.run(driver())
+        assert wcs[0].ok
+        assert b.process.space.read(b.buf_addr, 7) == b"no lkey"
+
+
+class TestMaxRdAtomic:
+    def test_reads_complete_under_tight_limit(self):
+        tb, a, b = build_pair(qp_count=0)
+
+        def setup():
+            from repro.rnic import QPType
+
+            qa = yield from a.lib.create_qp(a.pd, QPType.RC, a.cq, a.cq, 64, 64,
+                                            max_rd_atomic=2)
+            qb = yield from b.lib.create_qp(b.pd, QPType.RC, b.cq, b.cq, 64, 64)
+            yield from a.lib.connect(qa, b.server.name, qb.qpn)
+            yield from b.lib.connect(qb, a.server.name, qa.qpn)
+            return qa
+
+        qa = tb.run(setup())
+        b.process.space.write(b.buf_addr, bytes(range(64)))
+
+        def driver():
+            for i in range(32):
+                a.lib.post_send(qa, SendWR(
+                    wr_id=i, opcode=Opcode.RDMA_READ,
+                    sges=[make_sge(a.mr, i * 64, 64)],
+                    remote_addr=b.mr.addr, rkey=b.mr.rkey))
+                assert qa.outstanding_rd_atomic <= 2
+            wcs = yield from poll_until(tb, a.lib, a.cq, 32)
+            return wcs
+
+        wcs = tb.run(driver())
+        assert [wc.wr_id for wc in wcs] == list(range(32))
+        assert all(wc.status is WCStatus.SUCCESS for wc in wcs)
+        assert qa.outstanding_rd_atomic == 0
+        assert a.process.space.read(a.buf_addr, 64) == bytes(range(64))
+
+    def test_limit_throttles_read_throughput(self):
+        """With max_rd_atomic=1, READs serialize on the round trip; a
+        deeper limit pipelines them."""
+        import math
+
+        def time_reads(limit):
+            tb, a, b = build_pair(qp_count=0)
+
+            def setup():
+                from repro.rnic import QPType
+
+                qa = yield from a.lib.create_qp(a.pd, QPType.RC, a.cq, a.cq,
+                                                64, 64, max_rd_atomic=limit)
+                qb = yield from b.lib.create_qp(b.pd, QPType.RC, b.cq, b.cq, 64, 64)
+                yield from a.lib.connect(qa, b.server.name, qb.qpn)
+                yield from b.lib.connect(qb, a.server.name, qa.qpn)
+                return qa
+
+            qa = tb.run(setup())
+
+            def driver():
+                start = tb.sim.now
+                for i in range(32):
+                    a.lib.post_send(qa, SendWR(
+                        wr_id=i, opcode=Opcode.RDMA_READ,
+                        sges=[make_sge(a.mr, 0, 512)],
+                        remote_addr=b.mr.addr, rkey=b.mr.rkey))
+                yield from poll_until(tb, a.lib, a.cq, 32)
+                return tb.sim.now - start
+
+            return tb.run(driver())
+
+        serial = time_reads(1)
+        pipelined = time_reads(16)
+        assert serial > 2 * pipelined
+
+    def test_invalid_limit_rejected(self):
+        from repro.rnic import QP, QPType
+        from repro.rnic.errors import ResourceError
+
+        tb, a, b = build_pair(qp_count=0)
+        with pytest.raises(ResourceError):
+            QP(1, QPType.RC, a.pd, a.cq, a.cq, 8, 8, max_rd_atomic=0)

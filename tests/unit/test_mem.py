@@ -1,0 +1,207 @@
+"""Unit tests for the virtual-memory substrate (pages, VMAs, address spaces)."""
+
+import pytest
+
+from repro.config import PAGE_SIZE
+from repro.mem import AddressSpace, MemoryError_, PageStore, align_down, align_up
+
+
+class TestAlignment:
+    def test_align_up(self):
+        assert align_up(0) == 0
+        assert align_up(1) == PAGE_SIZE
+        assert align_up(PAGE_SIZE) == PAGE_SIZE
+        assert align_up(PAGE_SIZE + 1) == 2 * PAGE_SIZE
+
+    def test_align_down(self):
+        assert align_down(PAGE_SIZE - 1) == 0
+        assert align_down(PAGE_SIZE) == PAGE_SIZE
+        assert align_down(2 * PAGE_SIZE + 5) == 2 * PAGE_SIZE
+
+
+class TestPageStore:
+    def test_unwritten_reads_zero(self):
+        store = PageStore(2 * PAGE_SIZE)
+        assert store.read(100, 16) == b"\x00" * 16
+
+    def test_write_read_roundtrip(self):
+        store = PageStore(PAGE_SIZE)
+        store.write(10, b"hello world")
+        assert store.read(10, 11) == b"hello world"
+
+    def test_write_spanning_pages(self):
+        store = PageStore(2 * PAGE_SIZE)
+        data = bytes(range(256)) * 8  # 2048 bytes
+        start = PAGE_SIZE - 1024
+        store.write(start, data)
+        assert store.read(start, len(data)) == data
+        assert store.dirty_pages == {0, 1}
+
+    def test_out_of_range_rejected(self):
+        store = PageStore(PAGE_SIZE)
+        with pytest.raises(ValueError):
+            store.read(PAGE_SIZE - 4, 8)
+        with pytest.raises(ValueError):
+            store.write(-1, b"x")
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            PageStore(100)
+        with pytest.raises(ValueError):
+            PageStore(0)
+
+    def test_collect_dirty_clears(self):
+        store = PageStore(4 * PAGE_SIZE)
+        store.write(0, b"a")
+        store.write(2 * PAGE_SIZE, b"b")
+        assert store.collect_dirty() == {0, 2}
+        assert store.collect_dirty() == set()
+
+    def test_snapshot_and_install_roundtrip(self):
+        src = PageStore(2 * PAGE_SIZE)
+        src.write(5, b"payload")
+        images = src.snapshot_pages(src.collect_dirty())
+        dst = PageStore(2 * PAGE_SIZE)
+        dst.install_pages(images)
+        assert dst.read(5, 7) == b"payload"
+
+    def test_install_bad_page_size_rejected(self):
+        store = PageStore(PAGE_SIZE)
+        with pytest.raises(ValueError):
+            store.install_pages({0: b"short"})
+
+    def test_snapshot_out_of_range_page(self):
+        store = PageStore(PAGE_SIZE)
+        with pytest.raises(ValueError):
+            store.snapshot_pages([5])
+
+    def test_mark_all_dirty_only_touches_materialised(self):
+        store = PageStore(4 * PAGE_SIZE)
+        store.write(0, b"x")
+        store.collect_dirty()
+        store.mark_all_dirty()
+        assert store.dirty_pages == {0}
+
+    def test_clone_is_independent(self):
+        store = PageStore(PAGE_SIZE)
+        store.write(0, b"orig")
+        copy = store.clone()
+        copy.write(0, b"copy")
+        assert store.read(0, 4) == b"orig"
+        assert copy.read(0, 4) == b"copy"
+
+
+class TestAddressSpace:
+    def test_mmap_without_address_picks_free_slot(self):
+        space = AddressSpace("p1")
+        a = space.mmap(PAGE_SIZE)
+        b = space.mmap(PAGE_SIZE)
+        assert a.end <= b.start or b.end <= a.start
+
+    def test_mmap_fixed_address(self):
+        space = AddressSpace("p1")
+        vma = space.mmap(2 * PAGE_SIZE, addr=0x1000_0000)
+        assert vma.start == 0x1000_0000
+        assert vma.end == 0x1000_0000 + 2 * PAGE_SIZE
+
+    def test_overlapping_mmap_rejected(self):
+        space = AddressSpace("p1")
+        space.mmap(2 * PAGE_SIZE, addr=0x1000_0000)
+        with pytest.raises(MemoryError_):
+            space.mmap(PAGE_SIZE, addr=0x1000_1000)
+
+    def test_unaligned_fixed_address_rejected(self):
+        space = AddressSpace("p1")
+        with pytest.raises(MemoryError_):
+            space.mmap(PAGE_SIZE, addr=123)
+
+    def test_length_rounded_up(self):
+        space = AddressSpace("p1")
+        vma = space.mmap(100)
+        assert vma.length == PAGE_SIZE
+
+    def test_write_read_through_space(self):
+        space = AddressSpace("p1")
+        vma = space.mmap(PAGE_SIZE, addr=0x2000_0000)
+        space.write(0x2000_0000 + 64, b"data here")
+        assert space.read(0x2000_0000 + 64, 9) == b"data here"
+        assert vma.store.read(64, 9) == b"data here"
+
+    def test_read_unmapped_faults(self):
+        space = AddressSpace("p1")
+        with pytest.raises(MemoryError_, match="fault"):
+            space.read(0xDEAD_0000, 4)
+
+    def test_write_spanning_adjacent_vmas(self):
+        space = AddressSpace("p1")
+        space.mmap(PAGE_SIZE, addr=0x3000_0000)
+        space.mmap(PAGE_SIZE, addr=0x3000_0000 + PAGE_SIZE)
+        data = b"z" * 256
+        space.write(0x3000_0000 + PAGE_SIZE - 128, data)
+        assert space.read(0x3000_0000 + PAGE_SIZE - 128, 256) == data
+
+    def test_munmap_removes(self):
+        space = AddressSpace("p1")
+        space.mmap(PAGE_SIZE, addr=0x4000_0000)
+        space.munmap(0x4000_0000)
+        assert space.find(0x4000_0000) is None
+
+    def test_munmap_wrong_address_rejected(self):
+        space = AddressSpace("p1")
+        space.mmap(2 * PAGE_SIZE, addr=0x4000_0000)
+        with pytest.raises(MemoryError_):
+            space.munmap(0x4000_1000)  # middle, not start
+
+    def test_mremap_moves_keeping_contents(self):
+        space = AddressSpace("p1")
+        space.mmap(PAGE_SIZE, addr=0x5000_0000)
+        space.write(0x5000_0000, b"persistent")
+        moved = space.mremap(0x5000_0000, 0x6000_0000)
+        assert moved.start == 0x6000_0000
+        assert space.find(0x5000_0000) is None
+        assert space.read(0x6000_0000, 10) == b"persistent"
+
+    def test_mremap_to_occupied_rolls_back(self):
+        space = AddressSpace("p1")
+        space.mmap(PAGE_SIZE, addr=0x5000_0000)
+        space.mmap(PAGE_SIZE, addr=0x6000_0000)
+        with pytest.raises(MemoryError_):
+            space.mremap(0x5000_0000, 0x6000_0000)
+        assert space.find(0x5000_0000) is not None
+
+    def test_find_range_requires_single_vma(self):
+        space = AddressSpace("p1")
+        space.mmap(PAGE_SIZE, addr=0x7000_0000)
+        space.mmap(PAGE_SIZE, addr=0x7000_0000 + PAGE_SIZE)
+        with pytest.raises(MemoryError_):
+            space.find_range(0x7000_0000 + PAGE_SIZE - 8, 16)
+
+    def test_collect_dirty_by_vma(self):
+        space = AddressSpace("p1")
+        space.mmap(PAGE_SIZE, addr=0x8000_0000, tag="rdma")
+        space.mmap(PAGE_SIZE, addr=0x9000_0000)
+        space.write(0x8000_0000, b"d")
+        dirty = space.collect_dirty()
+        assert list(dirty.keys()) == [0x8000_0000]
+        assert space.dirty_page_count() == 0
+
+    def test_layout_reports_tags(self):
+        space = AddressSpace("p1")
+        space.mmap(PAGE_SIZE, addr=0x8000_0000, tag="rdma-queue", name="sq")
+        layout = space.layout()
+        assert layout == [(0x8000_0000, PAGE_SIZE, "rdma-queue", "sq")]
+
+    def test_shared_store_mapping(self):
+        """Mapping an existing store models restore-time shared backing."""
+        space_a = AddressSpace("a")
+        vma = space_a.mmap(PAGE_SIZE, addr=0x1000_0000)
+        space_a.write(0x1000_0000, b"shared!")
+        space_b = AddressSpace("b")
+        space_b.mmap(PAGE_SIZE, addr=0x2000_0000, store=vma.store)
+        assert space_b.read(0x2000_0000, 7) == b"shared!"
+
+    def test_mmap_store_length_mismatch_rejected(self):
+        space = AddressSpace("a")
+        store = PageStore(PAGE_SIZE)
+        with pytest.raises(MemoryError_):
+            space.mmap(2 * PAGE_SIZE, store=store)

@@ -1,0 +1,206 @@
+"""Unit tests for the CRIU-like engine: pre-copy images, partial/full
+restore split, pinning, restorer conflicts, runc commands."""
+
+import pytest
+
+from repro import cluster
+from repro.config import PAGE_SIZE
+from repro.migration import CriuEngine, CriuPlugin, Runc
+from repro.migration.criu import RESTORER_BYTES, TEMP_OFFSET
+from repro.migration.images import snapshot_container
+
+
+@pytest.fixture
+def world():
+    tb = cluster.build()
+    container = tb.source.create_container("app")
+    process = container.add_process("worker")
+    vma = process.space.mmap(16 * PAGE_SIZE, tag="data", name="heap")
+    process.space.write(vma.start, b"original contents")
+    engine = CriuEngine(tb.sim, tb.config)
+    return tb, container, process, vma, engine
+
+
+class TestSnapshots:
+    def test_full_snapshot_includes_touched_pages(self, world):
+        tb, container, process, vma, _ = world
+        image = snapshot_container(container, full=True)
+        assert image.processes[0].memory.page_count == 1  # one touched page
+        assert image.processes[0].memory.layout[0][0] == vma.start
+
+    def test_incremental_snapshot_only_dirty(self, world):
+        tb, container, process, vma, _ = world
+        snapshot_container(container, full=True)  # clears dirty
+        assert snapshot_container(container, full=False).processes[0].memory.page_count == 0
+        process.space.write(vma.start + 5 * PAGE_SIZE, b"new dirt")
+        image = snapshot_container(container, full=False)
+        assert image.processes[0].memory.page_count == 1
+
+    def test_image_merge_overlays_pages(self, world):
+        tb, container, process, vma, _ = world
+        base = snapshot_container(container, full=True)
+        process.space.write(vma.start, b"updated contents!")
+        newer = snapshot_container(container, full=False)
+        base.merge(newer)
+        page = base.processes[0].memory.pages[vma.start][0]
+        assert page.startswith(b"updated contents!")
+
+
+class TestRestore:
+    def _roundtrip(self, world, plugin=None):
+        tb, container, process, vma, engine = world
+        runc = Runc(engine, plugin)
+
+        def flow():
+            image = yield from runc.checkpoint_rdma(container)
+            session = yield from runc.partial_restore(image, tb.destination)
+            # Source keeps running: dirty a page, ship the diff.
+            process.space.write(vma.start + PAGE_SIZE, b"precopy diff")
+            diff = yield from runc.checkpoint_memory_only(container)
+            yield from runc.apply_iteration(session, diff)
+            yield from runc.full_restore(session)
+            return session
+
+        return tb.run(flow()), tb, container, process, vma
+
+    def test_partial_restore_maps_at_temp(self, world):
+        tb, container, process, vma, engine = world
+        runc = Runc(engine)
+
+        def flow():
+            image = yield from runc.checkpoint_rdma(container)
+            session = yield from runc.partial_restore(image, tb.destination)
+            return session
+
+        session = tb.run(flow())
+        restored = session.process_for(process.pid)
+        assert restored.space.find(vma.start) is None  # not home yet
+        temp = restored.space.find(vma.start + TEMP_OFFSET)
+        assert temp is not None
+        assert temp.store.read(0, 17) == b"original contents"
+
+    def test_full_restore_moves_home_and_releases_restorer(self, world):
+        session, tb, container, process, vma = self._roundtrip(world)
+        restored = session.process_for(process.pid)
+        assert restored.space.read(vma.start, 17) == b"original contents"
+        assert restored.space.read(vma.start + PAGE_SIZE, 12) == b"precopy diff"
+        assert restored.space.find(vma.start + TEMP_OFFSET) is None
+        # Restorer memory is gone.
+        assert all(v.tag != "restorer" for v in restored.space)
+        assert session.fully_restored
+        assert session.container.name in tb.destination.containers
+
+    def test_pinned_vmas_map_at_original_address(self, world):
+        tb, container, process, vma, engine = world
+
+        class PinAll(CriuPlugin):
+            def pinned_ranges(self, session, image):
+                return [(vma.start, vma.end)]
+
+        runc = Runc(engine, PinAll())
+
+        def flow():
+            image = yield from runc.checkpoint_rdma(container)
+            session = yield from runc.partial_restore(image, tb.destination)
+            return session
+
+        session = tb.run(flow())
+        restored = session.process_for(process.pid)
+        home = restored.space.find(vma.start)
+        assert home is not None
+        assert (process.pid, vma.start) in session.pinned
+
+    def test_restorer_conflict_detection(self, world):
+        tb, container, process, vma, engine = world
+        runc = Runc(engine)
+
+        def flow():
+            image = yield from runc.checkpoint_rdma(container)
+            session = yield from runc.partial_restore(image, tb.destination)
+            return session
+
+        session = tb.run(flow())
+        start, end = session.restorer_range(process.pid)
+        assert end - start == RESTORER_BYTES
+        assert session.conflicts_with_restorer(process.pid, start + 100, 10)
+        assert not session.conflicts_with_restorer(process.pid, end + PAGE_SIZE, 10)
+
+    def test_new_vma_in_later_iteration_is_mapped(self, world):
+        tb, container, process, vma, engine = world
+        runc = Runc(engine)
+
+        def flow():
+            image = yield from runc.checkpoint_rdma(container)
+            session = yield from runc.partial_restore(image, tb.destination)
+            # Source maps and dirties brand-new memory mid-pre-copy.
+            new_vma = process.space.mmap(4 * PAGE_SIZE, tag="data", name="late")
+            process.space.write(new_vma.start, b"late arrival")
+            diff = yield from runc.checkpoint_memory_only(container)
+            yield from runc.apply_iteration(session, diff)
+            yield from runc.full_restore(session)
+            return session, new_vma
+
+        session, new_vma = tb.run(flow())
+        restored = session.process_for(process.pid)
+        assert restored.space.read(new_vma.start, 12) == b"late arrival"
+
+    def test_exec_requires_full_restore(self, world):
+        tb, container, process, vma, engine = world
+        runc = Runc(engine)
+
+        def flow():
+            image = yield from runc.checkpoint_rdma(container)
+            session = yield from runc.partial_restore(image, tb.destination)
+            return session
+
+        session = tb.run(flow())
+        with pytest.raises(RuntimeError):
+            runc.exec_restore(session)
+
+    def test_checkpoint_rdma_is_incremental_after_first(self, world):
+        tb, container, process, vma, engine = world
+        runc = Runc(engine)
+
+        def flow():
+            first = yield from runc.checkpoint_rdma(container)
+            process.space.write(vma.start, b"x")
+            second = yield from runc.checkpoint_rdma(container)
+            return first, second
+
+        first, second = tb.run(flow())
+        assert first.processes[0].memory.page_count == 1
+        assert second.processes[0].memory.page_count == 1  # only the dirty page
+        # Layout row count identical but second is a diff (page set smaller or equal).
+        assert second.size_bytes <= first.size_bytes
+
+
+class TestCosts:
+    def test_dump_others_superlinear_in_vmas(self, world):
+        tb, container, process, vma, engine = world
+        t_small = engine.dump_others_time(container)
+        for i in range(200):
+            process.space.mmap(PAGE_SIZE, tag="data", name=f"buf{i}")
+        t_large = engine.dump_others_time(container)
+        assert t_large > t_small
+        # Superlinear: 200x VMAs cost much more than 200x of marginal row cost.
+        assert (t_large - t_small) > 200 * tb.config.migration.dump_per_vma_s
+
+    def test_freeze_interrupts_processes(self, world):
+        tb, container, process, vma, engine = world
+        ticks = []
+
+        def loop():
+            while True:
+                yield tb.sim.timeout(1e-3)
+                ticks.append(tb.sim.now)
+
+        process.attach(tb.sim.spawn(loop()))
+
+        def flow():
+            yield tb.sim.timeout(5.5e-3)
+            engine.freeze(container)
+            yield tb.sim.timeout(10e-3)
+
+        tb.run(flow())
+        assert process.frozen
+        assert len(ticks) == 5

@@ -1,0 +1,360 @@
+"""Unit tests for the RNIC data plane: SEND/RECV, WRITE, READ, ATOMIC,
+errors, ordering, reliability."""
+
+import pytest
+
+from repro.rnic import AccessFlags, Opcode, QPState, QPType, RecvWR, SendWR, WCStatus
+from repro.rnic.errors import QPStateError, ResourceError
+from repro.verbs.api import make_sge
+
+from tests.helpers import build_pair, poll_until
+
+
+@pytest.fixture
+def pair():
+    return build_pair()
+
+
+def run_op(tb, sender, receiver, wr, recv_wr=None, expect_send=1, expect_recv=0):
+    """Post (optional recv then) send, drain expected completions."""
+
+    def driver():
+        if recv_wr is not None:
+            receiver.lib.post_recv(receiver.qp, recv_wr)
+        sender.lib.post_send(sender.qp, wr)
+        send_wcs = yield from poll_until(tb, sender.lib, sender.cq, expect_send)
+        recv_wcs = []
+        if expect_recv:
+            recv_wcs = yield from poll_until(tb, receiver.lib, receiver.cq, expect_recv)
+        return send_wcs, recv_wcs
+
+    return tb.run(driver())
+
+
+class TestSendRecv:
+    def test_send_delivers_payload(self, pair):
+        tb, a, b = pair
+        a.process.space.write(a.buf_addr, b"hello rdma!")
+        wr = SendWR(wr_id=1, opcode=Opcode.SEND, sges=[make_sge(a.mr, 0, 11)])
+        recv = RecvWR(wr_id=2, sges=[make_sge(b.mr, 0, 4096)])
+        send_wcs, recv_wcs = run_op(tb, a, b, wr, recv, expect_recv=1)
+        assert send_wcs[0].status is WCStatus.SUCCESS
+        assert send_wcs[0].wr_id == 1
+        assert recv_wcs[0].wr_id == 2
+        assert recv_wcs[0].byte_len == 11
+        assert b.process.space.read(b.buf_addr, 11) == b"hello rdma!"
+
+    def test_send_with_imm(self, pair):
+        tb, a, b = pair
+        wr = SendWR(wr_id=1, opcode=Opcode.SEND_WITH_IMM,
+                    sges=[make_sge(a.mr, 0, 8)], imm_data=0xABCD)
+        recv = RecvWR(wr_id=2, sges=[make_sge(b.mr, 0, 64)])
+        _, recv_wcs = run_op(tb, a, b, wr, recv, expect_recv=1)
+        assert recv_wcs[0].imm_data == 0xABCD
+
+    def test_send_without_recv_gets_rnr_then_succeeds(self, pair):
+        tb, a, b = pair
+        a.process.space.write(a.buf_addr, b"patience")
+
+        def driver():
+            a.lib.post_send(a.qp, SendWR(wr_id=1, opcode=Opcode.SEND,
+                                         sges=[make_sge(a.mr, 0, 8)]))
+            # Post the RECV late: after the first RNR NAK.
+            yield tb.sim.timeout(150e-6)
+            b.lib.post_recv(b.qp, RecvWR(wr_id=9, sges=[make_sge(b.mr, 0, 64)]))
+            wcs = yield from poll_until(tb, a.lib, a.cq, 1)
+            return wcs
+
+        wcs = tb.run(driver())
+        assert wcs[0].status is WCStatus.SUCCESS
+        assert b.process.space.read(b.buf_addr, 8) == b"patience"
+
+    def test_payload_larger_than_recv_buffer_errors(self, pair):
+        tb, a, b = pair
+        wr = SendWR(wr_id=1, opcode=Opcode.SEND, sges=[make_sge(a.mr, 0, 1024)])
+        recv = RecvWR(wr_id=2, sges=[make_sge(b.mr, 0, 16)])
+
+        def driver():
+            b.lib.post_recv(b.qp, recv)
+            a.lib.post_send(a.qp, wr)
+            recv_wcs = yield from poll_until(tb, b.lib, b.cq, 1)
+            return recv_wcs
+
+        recv_wcs = tb.run(driver())
+        assert recv_wcs[0].status is WCStatus.LOC_LEN_ERR
+
+    def test_recv_counters_track_two_sided(self, pair):
+        tb, a, b = pair
+        wr = SendWR(wr_id=1, opcode=Opcode.SEND, sges=[make_sge(a.mr, 0, 16)])
+        recv = RecvWR(wr_id=2, sges=[make_sge(b.mr, 0, 64)])
+        run_op(tb, a, b, wr, recv, expect_recv=1)
+        assert a.qp.n_sent_two_sided == 1
+        assert b.qp.n_recv_completed == 1
+
+    def test_unsignaled_send_generates_no_cqe(self, pair):
+        tb, a, b = pair
+
+        def driver():
+            b.lib.post_recv(b.qp, RecvWR(wr_id=2, sges=[make_sge(b.mr, 0, 64)]))
+            a.lib.post_send(a.qp, SendWR(wr_id=1, opcode=Opcode.SEND, signaled=False,
+                                         sges=[make_sge(a.mr, 0, 8)]))
+            yield from poll_until(tb, b.lib, b.cq, 1)  # recv side completes
+            yield tb.sim.timeout(1e-3)
+            return a.lib.poll_cq(a.cq, 16)
+
+        assert tb.run(driver()) == []
+        assert a.qp.send_inflight == 0
+
+
+class TestOneSided:
+    def test_rdma_write(self, pair):
+        tb, a, b = pair
+        a.process.space.write(a.buf_addr, b"one-sided write")
+        wr = SendWR(wr_id=1, opcode=Opcode.RDMA_WRITE, sges=[make_sge(a.mr, 0, 15)],
+                    remote_addr=b.mr.addr + 100, rkey=b.mr.rkey)
+        send_wcs, _ = run_op(tb, a, b, wr)
+        assert send_wcs[0].status is WCStatus.SUCCESS
+        assert b.process.space.read(b.buf_addr + 100, 15) == b"one-sided write"
+        # One-sided: no recv CQE on the responder.
+        assert len(b.cq) == 0
+
+    def test_rdma_write_with_imm_consumes_recv(self, pair):
+        tb, a, b = pair
+        a.process.space.write(a.buf_addr, b"imm write")
+        wr = SendWR(wr_id=1, opcode=Opcode.RDMA_WRITE_WITH_IMM,
+                    sges=[make_sge(a.mr, 0, 9)],
+                    remote_addr=b.mr.addr, rkey=b.mr.rkey, imm_data=7)
+        recv = RecvWR(wr_id=2, sges=[])
+        send_wcs, recv_wcs = run_op(tb, a, b, wr, recv, expect_recv=1)
+        assert send_wcs[0].status is WCStatus.SUCCESS
+        assert recv_wcs[0].imm_data == 7
+        assert b.process.space.read(b.buf_addr, 9) == b"imm write"
+
+    def test_rdma_read(self, pair):
+        tb, a, b = pair
+        b.process.space.write(b.buf_addr + 8, b"read me!")
+        wr = SendWR(wr_id=1, opcode=Opcode.RDMA_READ, sges=[make_sge(a.mr, 0, 8)],
+                    remote_addr=b.mr.addr + 8, rkey=b.mr.rkey)
+        send_wcs, _ = run_op(tb, a, b, wr)
+        assert send_wcs[0].status is WCStatus.SUCCESS
+        assert send_wcs[0].byte_len == 8
+        assert a.process.space.read(a.buf_addr, 8) == b"read me!"
+
+    def test_atomic_fetch_and_add(self, pair):
+        tb, a, b = pair
+        b.process.space.write(b.buf_addr, (41).to_bytes(8, "little"))
+        wr = SendWR(wr_id=1, opcode=Opcode.ATOMIC_FETCH_AND_ADD,
+                    sges=[make_sge(a.mr, 0, 8)],
+                    remote_addr=b.mr.addr, rkey=b.mr.rkey, compare_add=1)
+        send_wcs, _ = run_op(tb, a, b, wr)
+        assert send_wcs[0].status is WCStatus.SUCCESS
+        # Original value lands in the requester buffer; remote is incremented.
+        assert int.from_bytes(a.process.space.read(a.buf_addr, 8), "little") == 41
+        assert int.from_bytes(b.process.space.read(b.buf_addr, 8), "little") == 42
+
+    def test_atomic_cmp_and_swap(self, pair):
+        tb, a, b = pair
+        b.process.space.write(b.buf_addr, (5).to_bytes(8, "little"))
+        wr = SendWR(wr_id=1, opcode=Opcode.ATOMIC_CMP_AND_SWP,
+                    sges=[make_sge(a.mr, 0, 8)],
+                    remote_addr=b.mr.addr, rkey=b.mr.rkey, compare_add=5, swap=99)
+        run_op(tb, a, b, wr)
+        assert int.from_bytes(b.process.space.read(b.buf_addr, 8), "little") == 99
+
+    def test_atomic_cmp_and_swap_mismatch_leaves_value(self, pair):
+        tb, a, b = pair
+        b.process.space.write(b.buf_addr, (5).to_bytes(8, "little"))
+        wr = SendWR(wr_id=1, opcode=Opcode.ATOMIC_CMP_AND_SWP,
+                    sges=[make_sge(a.mr, 0, 8)],
+                    remote_addr=b.mr.addr, rkey=b.mr.rkey, compare_add=4, swap=99)
+        run_op(tb, a, b, wr)
+        assert int.from_bytes(b.process.space.read(b.buf_addr, 8), "little") == 5
+
+    def test_unaligned_atomic_fails(self, pair):
+        tb, a, b = pair
+        wr = SendWR(wr_id=1, opcode=Opcode.ATOMIC_FETCH_AND_ADD,
+                    sges=[make_sge(a.mr, 0, 8)],
+                    remote_addr=b.mr.addr + 3, rkey=b.mr.rkey, compare_add=1)
+        send_wcs, _ = run_op(tb, a, b, wr)
+        assert send_wcs[0].status is WCStatus.REM_ACCESS_ERR
+        assert a.qp.state is QPState.ERR
+
+
+class TestAuthorization:
+    def test_bad_rkey_naks(self, pair):
+        tb, a, b = pair
+        wr = SendWR(wr_id=1, opcode=Opcode.RDMA_WRITE, sges=[make_sge(a.mr, 0, 8)],
+                    remote_addr=b.mr.addr, rkey=0xDEADBEEF)
+        send_wcs, _ = run_op(tb, a, b, wr)
+        assert send_wcs[0].status is WCStatus.REM_ACCESS_ERR
+
+    def test_write_without_remote_write_permission(self):
+        tb, a, b = build_pair()
+        # Re-register b's MR without REMOTE_WRITE.
+        def setup():
+            yield from b.lib.dereg_mr(b.mr)
+            b.mr = yield from b.lib.reg_mr(
+                b.pd, b.buf_addr, 4096, AccessFlags.LOCAL_WRITE | AccessFlags.REMOTE_READ)
+
+        tb.run(setup())
+        wr = SendWR(wr_id=1, opcode=Opcode.RDMA_WRITE, sges=[make_sge(a.mr, 0, 8)],
+                    remote_addr=b.mr.addr, rkey=b.mr.rkey)
+        send_wcs, _ = run_op(tb, a, b, wr)
+        assert send_wcs[0].status is WCStatus.REM_ACCESS_ERR
+
+    def test_remote_access_outside_mr_naks(self, pair):
+        tb, a, b = pair
+        wr = SendWR(wr_id=1, opcode=Opcode.RDMA_WRITE, sges=[make_sge(a.mr, 0, 64)],
+                    remote_addr=b.mr.addr + b.mr.length - 8, rkey=b.mr.rkey)
+        send_wcs, _ = run_op(tb, a, b, wr)
+        assert send_wcs[0].status is WCStatus.REM_ACCESS_ERR
+
+    def test_bad_lkey_local_error(self, pair):
+        tb, a, b = pair
+        from repro.rnic import SGE
+
+        wr = SendWR(wr_id=1, opcode=Opcode.SEND, sges=[SGE(a.buf_addr, 8, 0x123456)])
+        send_wcs, _ = run_op(tb, a, b, wr)
+        assert send_wcs[0].status is WCStatus.LOC_PROT_ERR
+        assert a.qp.state is QPState.ERR
+
+    def test_error_flushes_subsequent_wrs(self, pair):
+        tb, a, b = pair
+
+        def driver():
+            bad = SendWR(wr_id=1, opcode=Opcode.RDMA_WRITE, sges=[make_sge(a.mr, 0, 8)],
+                         remote_addr=b.mr.addr, rkey=0xBAD)
+            good = SendWR(wr_id=2, opcode=Opcode.RDMA_WRITE, sges=[make_sge(a.mr, 0, 8)],
+                          remote_addr=b.mr.addr, rkey=b.mr.rkey)
+            a.lib.post_send(a.qp, bad)
+            a.lib.post_send(a.qp, good)
+            return (yield from poll_until(tb, a.lib, a.cq, 2))
+
+        wcs = tb.run(driver())
+        statuses = {wc.wr_id: wc.status for wc in wcs}
+        assert statuses[1] is WCStatus.REM_ACCESS_ERR
+        assert statuses[2] in (WCStatus.WR_FLUSH_ERR, WCStatus.REM_ACCESS_ERR)
+
+
+class TestOrderingAndState:
+    def test_completions_in_posting_order(self, pair):
+        tb, a, b = pair
+
+        def driver():
+            for i in range(32):
+                a.lib.post_send(a.qp, SendWR(
+                    wr_id=i, opcode=Opcode.RDMA_WRITE, sges=[make_sge(a.mr, 0, 256)],
+                    remote_addr=b.mr.addr, rkey=b.mr.rkey))
+            return (yield from poll_until(tb, a.lib, a.cq, 32))
+
+        wcs = tb.run(driver())
+        assert [wc.wr_id for wc in wcs] == list(range(32))
+
+    def test_post_send_before_rts_rejected(self):
+        tb, a, b = build_pair(qp_count=0)
+
+        def driver():
+            qp = yield from a.lib.create_qp(a.pd, QPType.RC, a.cq, a.cq, 16, 16)
+            return qp
+
+        qp = tb.run(driver())
+        with pytest.raises(QPStateError):
+            a.lib.post_send(qp, SendWR(wr_id=1, opcode=Opcode.SEND,
+                                       sges=[make_sge(a.mr, 0, 8)]))
+
+    def test_send_queue_full_rejected(self, pair):
+        tb, a, b = pair
+        with pytest.raises(ResourceError):
+            for i in range(1000):
+                a.lib.post_send(a.qp, SendWR(
+                    wr_id=i, opcode=Opcode.RDMA_WRITE, sges=[make_sge(a.mr, 0, 8)],
+                    remote_addr=b.mr.addr, rkey=b.mr.rkey))
+
+    def test_inflight_accounting_drains_to_zero(self, pair):
+        tb, a, b = pair
+
+        def driver():
+            for i in range(16):
+                a.lib.post_send(a.qp, SendWR(
+                    wr_id=i, opcode=Opcode.RDMA_WRITE, sges=[make_sge(a.mr, 0, 1024)],
+                    remote_addr=b.mr.addr, rkey=b.mr.rkey))
+            assert a.qp.send_inflight == 16
+            yield from poll_until(tb, a.lib, a.cq, 16)
+            return a.qp.send_inflight
+
+        assert tb.run(driver()) == 0
+
+    def test_throughput_is_line_rate_for_large_messages(self, pair):
+        tb, a, b = pair
+        nbytes = 32 * 1024
+        count = 64
+
+        def driver():
+            start = tb.sim.now
+            for i in range(count):
+                a.lib.post_send(a.qp, SendWR(
+                    wr_id=i, opcode=Opcode.RDMA_WRITE, sges=[make_sge(a.mr, 0, nbytes)],
+                    remote_addr=b.mr.addr, rkey=b.mr.rkey))
+            yield from poll_until(tb, a.lib, a.cq, count)
+            return tb.sim.now - start
+
+        elapsed = tb.run(driver())
+        wire_time = count * nbytes * 8 / tb.config.link.rate_bps
+        assert elapsed >= wire_time
+        assert elapsed < wire_time * 1.25
+
+    def test_reliability_under_loss(self, pair):
+        tb, a, b = pair
+        tb.network.set_loss_rate(0.02)
+        a.process.space.write(a.buf_addr, bytes(range(256)))
+
+        def driver():
+            for i in range(64):
+                a.lib.post_send(a.qp, SendWR(
+                    wr_id=i, opcode=Opcode.RDMA_WRITE,
+                    sges=[make_sge(a.mr, 0, 256)],
+                    remote_addr=b.mr.addr + 256, rkey=b.mr.rkey))
+            return (yield from poll_until(tb, a.lib, a.cq, 64, timeout=30.0))
+
+        wcs = tb.run(driver(), limit=60.0)
+        assert all(wc.status is WCStatus.SUCCESS for wc in wcs)
+        assert [wc.wr_id for wc in wcs] == list(range(64))
+        assert b.process.space.read(b.buf_addr + 256, 256) == bytes(range(256))
+
+
+class TestUD:
+    def test_ud_send(self):
+        tb, a, b = build_pair(qp_count=1, qp_type=QPType.UD)
+        a.process.space.write(a.buf_addr, b"datagram")
+
+        def driver():
+            b.lib.post_recv(b.qp, RecvWR(wr_id=7, sges=[make_sge(b.mr, 0, 64)]))
+            a.lib.post_send(a.qp, SendWR(
+                wr_id=1, opcode=Opcode.SEND, sges=[make_sge(a.mr, 0, 8)],
+                remote_node=b.server.name, remote_qpn=b.qp.qpn))
+            send_wcs = yield from poll_until(tb, a.lib, a.cq, 1)
+            recv_wcs = yield from poll_until(tb, b.lib, b.cq, 1)
+            return send_wcs, recv_wcs
+
+        send_wcs, recv_wcs = tb.run(driver())
+        assert send_wcs[0].status is WCStatus.SUCCESS
+        assert recv_wcs[0].wr_id == 7
+        assert b.process.space.read(b.buf_addr, 8) == b"datagram"
+
+    def test_ud_loss_is_silent(self):
+        tb, a, b = build_pair(qp_count=1, qp_type=QPType.UD)
+        tb.network.set_loss_rate(0.999)
+
+        def driver():
+            b.lib.post_recv(b.qp, RecvWR(wr_id=7, sges=[make_sge(b.mr, 0, 64)]))
+            a.lib.post_send(a.qp, SendWR(
+                wr_id=1, opcode=Opcode.SEND, sges=[make_sge(a.mr, 0, 8)],
+                remote_node=b.server.name, remote_qpn=b.qp.qpn))
+            # The send still completes locally (fire and forget).
+            send_wcs = yield from poll_until(tb, a.lib, a.cq, 1)
+            yield tb.sim.timeout(5e-3)
+            return send_wcs, b.lib.poll_cq(b.cq, 8)
+
+        send_wcs, recv_wcs = tb.run(driver())
+        assert send_wcs[0].status is WCStatus.SUCCESS
+        assert recv_wcs == []
