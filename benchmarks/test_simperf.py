@@ -1,0 +1,61 @@
+"""Simulator performance: wall-clock events/sec on the reference migration.
+
+Unlike the other benchmark modules (which regenerate *paper* metrics in
+simulated time), this one tracks how fast the simulator itself runs: heap
+events processed per wall-clock second and the wall-clock cost of one
+end-to-end migration.  The numbers land in ``BENCH_simperf.json`` at the
+repo root so regressions in the hot paths (the event loop, the RNIC
+engine, page copying) show up in review diffs.
+
+``REPRO_BENCH_FULL=1`` runs the paper-scale scenario; the default stays
+laptop-quick.  Wall-clock numbers are machine-dependent — the JSON is a
+tracking artifact, the assertions only check sanity, not speed.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from bench_common import FULL_MODE, MigrationScenario
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_FILE = REPO_ROOT / "BENCH_simperf.json"
+
+NUM_QPS = 256 if FULL_MODE else 16
+ROUNDS = 1 if FULL_MODE else 3
+
+
+def _one_round():
+    """Build + migrate once; returns (wallclock of the migration, scenario)."""
+    scenario = MigrationScenario(num_qps=NUM_QPS)
+    start = time.perf_counter()
+    report = scenario.run_migration()
+    elapsed = time.perf_counter() - start
+    return elapsed, scenario, report
+
+
+def test_simperf_events_per_sec():
+    best = None
+    for _ in range(ROUNDS):
+        elapsed, scenario, report = _one_round()
+        if best is None or elapsed < best[0]:
+            best = (elapsed, scenario, report)
+    elapsed, scenario, report = best
+
+    events = scenario.tb.sim.events_processed
+    result = {
+        "scenario": f"MigrationScenario(num_qps={NUM_QPS})",
+        "rounds": ROUNDS,
+        "events_processed": events,
+        "migration_wallclock_s": round(elapsed, 4),
+        "events_per_sec": round(events / elapsed),
+        "sim_time_s": scenario.tb.sim.now,
+        "blackout_ms": report.blackout_s * 1e3,
+    }
+    RESULT_FILE.write_text(json.dumps(result, indent=2) + "\n")
+
+    # Sanity only: wall-clock speed is machine-dependent.
+    assert result["events_processed"] > 10_000
+    assert result["events_per_sec"] > 0
+    assert result["migration_wallclock_s"] > 0
+    assert report.blackout_s > 0

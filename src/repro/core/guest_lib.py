@@ -134,7 +134,7 @@ class VirtQP:
         "rid", "vqpn", "qp_type", "lib", "send_vcq", "recv_vcq", "vsrq",
         "remote_service", "remote_node", "remote_vqpn", "passthrough",
         "intercepted_sends", "posted_recvs", "pending_fetch", "fetch_active",
-        "unacked_for_replay", "backlog",
+        "unacked_for_replay", "backlog", "xlate_cache",
     )
 
     def __init__(self, rid: int, vqpn: int, qp_type: QPType, lib: "MigrRdmaGuestLib",
@@ -159,6 +159,10 @@ class VirtQP:
         #: translated WRs waiting for send-queue space (replay bursts can
         #: exceed the restored QP's depth; they drain as completions arrive)
         self.backlog: Deque[SendWR] = deque()
+        #: memoized lkey translation: (lib epoch, virtual lkeys, physical
+        #: lkeys) of the last WR — applications overwhelmingly re-post the
+        #: same SGE shape, so this skips the per-SGE table walk.
+        self.xlate_cache: Optional[Tuple[int, Tuple[int, ...], Tuple[int, ...]]] = None
 
     @property
     def qpn(self) -> int:
@@ -198,6 +202,9 @@ class MigrRdmaGuestLib(VerbsAPI):
         #: old physical QPN -> vqpn, for fake-CQ translation after restore
         self.temp_qpn_map: Dict[int, int] = {}
         self._pending_binds: Dict[Tuple[int, int], Tuple[VirtMW, VirtMR, int, object]] = {}
+        #: bumped whenever lkey translations may change (restore rebind,
+        #: MR deregistration) — invalidates every VirtQP.xlate_cache.
+        self._xlate_epoch = 0
 
         self.wbs = WaitBeforeStop(self)
 
@@ -220,6 +227,7 @@ class MigrRdmaGuestLib(VerbsAPI):
         self.layer = layer
         self.process = process
         self.sim = layer.sim
+        self._xlate_epoch += 1  # restore re-registers MRs: lkeys changed
 
     # ------------------------------------------------------------------
     # control path
@@ -251,6 +259,7 @@ class MigrRdmaGuestLib(VerbsAPI):
 
     def dereg_mr(self, mr: VirtMR):
         yield from self.layer.dereg_mr(self.state, mr.rid)
+        self._xlate_epoch += 1  # the vlkey slot may be reused
 
     def alloc_dm(self, length: int):
         dm, rid = yield from self.layer.alloc_dm(self.state, self.process, length)
@@ -356,6 +365,59 @@ class MigrRdmaGuestLib(VerbsAPI):
             return
         self._post_physical(qp, physical)
 
+    def post_send_wrs(self, qp: VirtQP, wrs: List[SendWR]) -> None:
+        """WR-chain post through the virtualization layer.
+
+        Per-WR charges, suspension interception, and fetch queueing are
+        identical to calling :meth:`post_send` N times; runs of
+        consecutively-translatable WRs reach the NIC as one chain (a single
+        doorbell).
+        """
+        cpu = self.process.cpu
+        cfg = cpu.config
+        chain: List[SendWR] = []
+        for wr in wrs:
+            cpu.charge_base(_OP_LABEL[wr.opcode])
+            cpu.charge("virt", cfg.suspension_flag_check_cycles)
+            if wr.inline and wr.inline_data is None:
+                capture_inline(self.process, qp, wr)
+            if qp.suspended:
+                cpu.charge("virt", cfg.wr_intercept_buffer_cycles)
+                qp.intercepted_sends.append(clone_send_wr(wr))
+                continue
+            if qp.pending_fetch:
+                qp.pending_fetch.append(clone_send_wr(wr))
+                continue
+            physical = self._translate_send(qp, wr)
+            if physical is None:
+                # Flush what is already translated before queueing this WR
+                # for a fetch, so everything in pending_fetch stays ordered
+                # behind what the NIC already has.
+                self._flush_wr_chain(qp, chain)
+                chain = []
+                qp.pending_fetch.append(clone_send_wr(wr))
+                self._start_fetch(qp)
+                continue
+            if physical.opcode is Opcode.BIND_MW:
+                self._register_pending_bind(qp, physical)
+            chain.append(physical)
+        self._flush_wr_chain(qp, chain)
+
+    def _flush_wr_chain(self, qp: VirtQP, chain: List[SendWR]) -> None:
+        if not chain:
+            return
+        phys = qp._phys
+        if not qp.backlog and phys.sq_space() >= len(chain):
+            self.layer.rnic.post_send_wrs(phys, chain)
+            return
+        # Not enough send-queue room (or an existing backlog): fall back to
+        # per-WR posting so the overflow lands in the backlog in order.
+        for wr in chain:
+            if qp.backlog or phys.sq_space() <= 0:
+                qp.backlog.append(wr)
+            else:
+                self.layer.rnic.post_send(phys, wr)
+
     def _post_physical(self, qp: VirtQP, wr: SendWR) -> None:
         if wr.opcode is Opcode.BIND_MW:
             self._register_pending_bind(qp, wr)
@@ -372,31 +434,68 @@ class MigrRdmaGuestLib(VerbsAPI):
             self.layer.rnic.post_send(phys, qp.backlog.popleft())
 
     def _translate_send(self, qp: VirtQP, wr: SendWR) -> Optional[SendWR]:
-        """Virtual WR -> physical WR; None when a remote fetch is needed."""
+        """Virtual WR -> physical WR; None when a remote fetch is needed.
+
+        The modeled cycle charges (Table 4) are identical to translating
+        from scratch; only the wall-clock work is reduced:
+
+        - the per-SGE lkey table walk is memoized per QP (same virtual lkey
+          tuple -> same physical tuple, invalidated by ``_xlate_epoch``),
+        - when every translation turns out to be the identity (e.g. hybrid
+          passthrough), the original WR is returned without cloning.
+        """
         cpu = self.process.cpu
         cfg = cpu.config
-        physical = clone_send_wr(wr)
         cpu.charge("virt", cfg.virt_dispatch_cycles)
-        if physical.inline_data is None:
-            for sge in physical.sges:
-                sge.lkey = self.state.lkey_table.lookup(sge.lkey)
-                cpu.charge("virt", cfg.lkey_array_lookup_cycles)
-        if physical.opcode is Opcode.BIND_MW:
+        opcode = wr.opcode
+        pkeys = vkeys = None
+        if wr.inline_data is None and wr.sges:
+            vkeys = tuple(sge.lkey for sge in wr.sges)
+            cached = qp.xlate_cache
+            if cached is not None and cached[0] == self._xlate_epoch and cached[1] == vkeys:
+                pkeys = cached[2]
+            else:
+                lookup = self.state.lkey_table.lookup
+                pkeys = tuple(lookup(key) for key in vkeys)
+                qp.xlate_cache = (self._xlate_epoch, vkeys, pkeys)
+            # One charge per SGE, exactly like the uncached walk: each call
+            # draws its own measurement jitter, so the RNG stream (and thus
+            # every downstream simulated timestamp) is unchanged.
+            per_sge = cfg.lkey_array_lookup_cycles
+            for _ in vkeys:
+                cpu.charge("virt", per_sge)
+        if opcode is Opcode.BIND_MW:
+            physical = clone_send_wr(wr)
+            if pkeys is not None:
+                for sge, pkey in zip(physical.sges, pkeys):
+                    sge.lkey = pkey
             physical.bind_mr = self.state.resources[wr.bind_mr.rid]
             physical.bind_mw = self.state.resources[wr.bind_mw.rid]
             return physical
-        if physical.opcode.is_one_sided:
-            if qp.passthrough:
-                return physical
-            cached = self.rkey_cache.get(qp.remote_service, "rkey", wr.rkey)
-            if cached is None:
+        prkey = None
+        if opcode.is_one_sided and not qp.passthrough:
+            prkey = self.rkey_cache.get(qp.remote_service, "rkey", wr.rkey)
+            if prkey is None:
                 return None
             cpu.charge("virt", cfg.rkey_cache_hit_cycles)
-            physical.rkey = cached
-        if qp.qp_type is QPType.UD and physical.opcode.is_two_sided:
-            resolved = self._translate_ud_target(physical)
-            if resolved is None:
+        if qp.qp_type is QPType.UD and opcode.is_two_sided:
+            physical = clone_send_wr(wr)
+            if pkeys is not None:
+                for sge, pkey in zip(physical.sges, pkeys):
+                    sge.lkey = pkey
+            if prkey is not None:
+                physical.rkey = prkey
+            if self._translate_ud_target(physical) is None:
                 return None
+            return physical
+        if (pkeys is None or pkeys == vkeys) and (prkey is None or prkey == wr.rkey):
+            return wr  # identity translation: the WR can go down as-is
+        physical = clone_send_wr(wr)
+        if pkeys is not None:
+            for sge, pkey in zip(physical.sges, pkeys):
+                sge.lkey = pkey
+        if prkey is not None:
+            physical.rkey = prkey
         return physical
 
     def _translate_ud_target(self, wr: SendWR) -> Optional[SendWR]:

@@ -91,7 +91,7 @@ class Network:
         src = self.node(message.src)
         self.node(message.dst)  # validate early
         self.messages_sent += 1
-        src.port.transmit(message.size_bytes, lambda: self._propagate(message))
+        src.port.transmit(message.size_bytes, self._propagate, message)
 
     def transmit_raw(self, src: str, dst: str, size_bytes: int, protocol: str, payload) -> None:
         """Inject a message whose serialization was already metered.
@@ -111,7 +111,4 @@ class Network:
             self.messages_dropped += 1
             return
         dst = self.node(message.dst)
-        self.sim.schedule(
-            self.config.link.propagation_delay_s,
-            lambda: dst.deliver(message),
-        )
+        self.sim.schedule(self.config.link.propagation_delay_s, dst.deliver, message)

@@ -9,17 +9,19 @@ hold in Figure 4.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections import deque
+from typing import Callable, Deque, Optional
 
-from repro.sim import Event, Queue, Simulator
+from repro.sim import Event, Simulator
 
 
 class Port:
     """FIFO egress scheduler with a fixed drain rate.
 
-    Transmissions are ``(size_bytes, on_wire_done)`` pairs; ``on_wire_done``
-    fires once the last bit has been serialized onto the wire (propagation
-    is the network's job).
+    Implemented event-driven rather than as a resident drain process: each
+    transmission costs one scheduled finish event instead of a queue
+    round-trip plus a timeout, which matters because every byte any model
+    component sends funnels through here.
     """
 
     def __init__(self, sim: Simulator, rate_bps: float, name: str = ""):
@@ -28,14 +30,14 @@ class Port:
         self.sim = sim
         self.rate_bps = rate_bps
         self.name = name
-        self._queue: Queue = Queue(sim)
+        self._pending: Deque[tuple] = deque()
+        self._active = False
         self._bytes_sent = 0
         self._busy_until = 0.0
         #: Optional callable returning a serialization slowdown factor
         #: (>= 1.0); used to model NIC-internal contention during
         #: control-path bursts (Figure 5 brownout dips).
         self.contention_factor = None
-        sim.spawn(self._drain(), name=f"port:{name}")
 
     @property
     def bytes_sent(self) -> int:
@@ -43,27 +45,46 @@ class Port:
 
     @property
     def backlog(self) -> int:
-        return len(self._queue)
+        return len(self._pending)
 
     def serialization_time(self, size_bytes: int) -> float:
         return size_bytes * 8.0 / self.rate_bps
 
-    def transmit(self, size_bytes: int, on_wire_done: Optional[Callable[[], None]] = None) -> Event:
-        """Enqueue a transmission; the returned event fires at wire-done."""
+    def transmit(self, size_bytes: int, on_wire_done: Optional[Callable] = None,
+                 *cb_args) -> Event:
+        """Enqueue a transmission; the returned event fires at wire-done.
+
+        ``on_wire_done(*cb_args)`` (if given) runs at that moment — passing
+        the args here lets hot callers avoid a closure per message.
+        """
         done = self.sim.event()
-        self._queue.put((size_bytes, on_wire_done, done))
+        item = (size_bytes, on_wire_done, cb_args, done)
+        if self._active:
+            self._pending.append(item)
+        else:
+            self._active = True
+            self._begin(item)
         return done
 
-    def _drain(self):
-        while True:
-            size_bytes, on_wire_done, done = yield self._queue.get()
-            if size_bytes > 0:
-                delay = self.serialization_time(size_bytes)
-                if self.contention_factor is not None:
-                    delay *= max(1.0, self.contention_factor())
-                yield self.sim.timeout(delay)
-            self._bytes_sent += size_bytes
-            self._busy_until = self.sim.now
-            if on_wire_done is not None:
-                on_wire_done()
-            done.succeed(self.sim.now)
+    def _begin(self, item: tuple) -> None:
+        size_bytes = item[0]
+        delay = 0.0
+        if size_bytes > 0:
+            delay = size_bytes * 8.0 / self.rate_bps
+            if self.contention_factor is not None:
+                factor = self.contention_factor()
+                if factor > 1.0:
+                    delay *= factor
+        self.sim.schedule(delay, self._finish, item)
+
+    def _finish(self, item: tuple) -> None:
+        size_bytes, on_wire_done, cb_args, done = item
+        self._bytes_sent += size_bytes
+        self._busy_until = self.sim.now
+        if on_wire_done is not None:
+            on_wire_done(*cb_args)
+        done.succeed(self.sim.now)
+        if self._pending:
+            self._begin(self._pending.popleft())
+        else:
+            self._active = False

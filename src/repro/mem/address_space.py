@@ -75,6 +75,7 @@ class AddressSpace:
         self.name = name
         self._vmas: List[VMA] = []  # kept sorted by start
         self._next_hint = self.MMAP_BASE
+        self._hot_vma: Optional[VMA] = None  # last find() hit
 
     # -- lookup ------------------------------------------------------------
 
@@ -90,15 +91,20 @@ class AddressSpace:
 
     def find(self, addr: int) -> Optional[VMA]:
         """The VMA containing ``addr``, or None."""
-        lo, hi = 0, len(self._vmas)
+        vma = self._hot_vma
+        if vma is not None and vma.start <= addr < vma.start + vma.store.length:
+            return vma
+        vmas = self._vmas
+        lo, hi = 0, len(vmas)
         while lo < hi:
             mid = (lo + hi) // 2
-            vma = self._vmas[mid]
+            vma = vmas[mid]
             if addr < vma.start:
                 hi = mid
-            elif addr >= vma.end:
+            elif addr >= vma.start + vma.store.length:
                 lo = mid + 1
             else:
+                self._hot_vma = vma
                 return vma
         return None
 
@@ -160,6 +166,7 @@ class AddressSpace:
         """Unmap the VMA starting exactly at ``addr``; returns it."""
         for i, vma in enumerate(self._vmas):
             if vma.start == addr:
+                self._hot_vma = None
                 return self._vmas.pop(i)
         raise MemoryError_(f"{self.name}: no VMA starts at {addr:#x}")
 
@@ -182,20 +189,31 @@ class AddressSpace:
 
     def read(self, addr: int, size: int) -> bytes:
         """Read bytes, spanning VMAs if contiguous; raises on holes."""
+        vma = self.find(addr)
+        if vma is None:
+            raise MemoryError_(f"{self.name}: read fault at {addr:#x}")
+        if addr + size <= vma.end:
+            # Fast path: the whole range lives in one VMA.
+            return vma.store.read(addr - vma.start, size)
         chunks = []
         while size > 0:
-            vma = self.find(addr)
             if vma is None:
                 raise MemoryError_(f"{self.name}: read fault at {addr:#x}")
             take = min(size, vma.end - addr)
             chunks.append(vma.store.read(addr - vma.start, take))
             addr += take
             size -= take
+            vma = self.find(addr) if size > 0 else None
         return b"".join(chunks)
 
     def write(self, addr: int, data: bytes) -> None:
-        pos = 0
         size = len(data)
+        vma = self.find(addr)
+        if vma is not None and addr + size <= vma.end:
+            # Fast path: the whole range lives in one VMA.
+            vma.store.write(addr - vma.start, data)
+            return
+        pos = 0
         while pos < size:
             vma = self.find(addr + pos)
             if vma is None:

@@ -7,9 +7,12 @@ dirty set records which pages changed since the last
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Set, Tuple
+from typing import Dict, Iterator, Set, Tuple, Union
 
 from repro.config import PAGE_SIZE
+
+#: Shared zero page for reads of never-written ranges.
+_ZERO_PAGE = bytes(PAGE_SIZE)
 
 
 class PageStore:
@@ -24,7 +27,9 @@ class PageStore:
         if length <= 0 or length % PAGE_SIZE != 0:
             raise ValueError(f"length must be a positive multiple of {PAGE_SIZE}, got {length}")
         self.length = length
-        self._pages: Dict[int, bytearray] = {}
+        #: Whole-page writes are stored as immutable ``bytes`` (zero-copy to
+        #: read back); partially-written pages are mutable bytearrays.
+        self._pages: Dict[int, Union[bytes, bytearray]] = {}
         self._dirty: Set[int] = set()
 
     @property
@@ -36,9 +41,17 @@ class PageStore:
         return len(self._pages)
 
     def _page(self, index: int) -> bytearray:
+        """Materialise page ``index`` as a mutable bytearray.
+
+        Pages written whole are stored as immutable ``bytes`` (cheap to
+        store and to read back); this converts such a page copy-on-write.
+        """
         page = self._pages.get(index)
         if page is None:
             page = bytearray(PAGE_SIZE)
+            self._pages[index] = page
+        elif type(page) is bytes:
+            page = bytearray(page)
             self._pages[index] = page
         return page
 
@@ -48,29 +61,65 @@ class PageStore:
 
     def read(self, offset: int, size: int) -> bytes:
         self._check_range(offset, size)
+        pages = self._pages
+        index, within = divmod(offset, PAGE_SIZE)
+        if within + size <= PAGE_SIZE:
+            # Fast path: the read stays within one page.
+            page = pages.get(index)
+            if page is None:
+                return _ZERO_PAGE[:size]
+            if size == PAGE_SIZE and type(page) is bytes:
+                return page  # whole immutable page: zero-copy
+            return bytes(page[within:within + size])
         chunks = []
         while size > 0:
-            index, within = divmod(offset, PAGE_SIZE)
-            take = min(size, PAGE_SIZE - within)
-            page = self._pages.get(index)
+            take = PAGE_SIZE - within
+            if take > size:
+                take = size
+            page = pages.get(index)
             if page is None:
-                chunks.append(b"\x00" * take)
+                chunks.append(_ZERO_PAGE[:take])
+            elif take == PAGE_SIZE and type(page) is bytes:
+                chunks.append(page)
             else:
                 chunks.append(bytes(page[within:within + take]))
-            offset += take
             size -= take
+            index += 1
+            within = 0
         return b"".join(chunks)
 
     def write(self, offset: int, data: bytes) -> None:
-        self._check_range(offset, len(data))
-        pos = 0
         size = len(data)
+        self._check_range(offset, size)
+        pages = self._pages
+        dirty = self._dirty
+        index, within = divmod(offset, PAGE_SIZE)
+        pos = 0
         while pos < size:
-            index, within = divmod(offset + pos, PAGE_SIZE)
-            take = min(size - pos, PAGE_SIZE - within)
-            self._page(index)[within:within + take] = data[pos:pos + take]
-            self._dirty.add(index)
+            take = PAGE_SIZE - within
+            if take > size - pos:
+                take = size - pos
+            if take == PAGE_SIZE:
+                # Whole-page store: keep the immutable slice itself (bytes
+                # for a bytes source is zero-copy; partial writes convert
+                # copy-on-write via _page).
+                if size == PAGE_SIZE:
+                    pages[index] = bytes(data)
+                else:
+                    pages[index] = bytes(data[pos:pos + PAGE_SIZE])
+            else:
+                page = pages.get(index)
+                if page is None:
+                    page = bytearray(PAGE_SIZE)
+                    pages[index] = page
+                elif type(page) is bytes:
+                    page = bytearray(page)
+                    pages[index] = page
+                page[within:within + take] = data[pos:pos + take]
+            dirty.add(index)
             pos += take
+            index += 1
+            within = 0
 
     # -- dirty tracking ----------------------------------------------------
 
@@ -106,7 +155,7 @@ class PageStore:
                 raise ValueError(f"page image must be {PAGE_SIZE} bytes, got {len(content)}")
             if index < 0 or index >= self.num_pages:
                 raise ValueError(f"page index {index} outside store")
-            self._pages[index] = bytearray(content)
+            self._pages[index] = bytes(content)
 
     def iter_pages(self) -> Iterator[Tuple[int, bytes]]:
         for index in sorted(self._pages):
@@ -114,6 +163,8 @@ class PageStore:
 
     def clone(self) -> "PageStore":
         other = PageStore(self.length)
-        other._pages = {i: bytearray(p) for i, p in self._pages.items()}
+        # Immutable pages can be shared; mutable ones must be copied.
+        other._pages = {i: p if type(p) is bytes else bytearray(p)
+                        for i, p in self._pages.items()}
         other._dirty = set(self._dirty)
         return other

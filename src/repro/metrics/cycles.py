@@ -48,7 +48,10 @@ class CpuContext:
         """Charge ``cycles`` with small measurement jitter, booked under ``op``."""
         noise = self.config.measurement_noise_frac
         if noise:
-            cycles *= 1.0 + self._rng.uniform(-noise, noise)
+            # Inlined random.uniform(-noise, noise): uniform(a, b) is
+            # a + (b - a) * random(), and noise - (-noise) == noise + noise
+            # exactly in IEEE arithmetic, so the RNG stream is unchanged.
+            cycles *= 1.0 + (-noise + (noise + noise) * self._rng.random())
         self._accrued_cycles += cycles
         self.total_cycles += cycles
         self.cycles_by_op[op] += cycles

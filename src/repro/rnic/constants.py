@@ -56,37 +56,30 @@ class Opcode(enum.Enum):
     RECV = "RECV"
     BIND_MW = "BIND_MW"
 
-    @property
-    def is_one_sided(self) -> bool:
-        return self in (
-            Opcode.RDMA_WRITE,
-            Opcode.RDMA_WRITE_WITH_IMM,
-            Opcode.RDMA_READ,
-            Opcode.ATOMIC_CMP_AND_SWP,
-            Opcode.ATOMIC_FETCH_AND_ADD,
-        )
+    # Predicate flags (is_one_sided, is_atomic, ...) are precomputed as
+    # plain member attributes below: the data path reads them several times
+    # per WR, where property-call overhead adds up.
 
-    @property
-    def is_two_sided(self) -> bool:
-        return self in (Opcode.SEND, Opcode.SEND_WITH_IMM)
 
-    @property
-    def consumes_recv(self) -> bool:
-        """Does this opcode consume a RECV WR at the responder?"""
-        return self in (
-            Opcode.SEND,
-            Opcode.SEND_WITH_IMM,
-            Opcode.RDMA_WRITE_WITH_IMM,
-        )
-
-    @property
-    def is_atomic(self) -> bool:
-        return self in (Opcode.ATOMIC_CMP_AND_SWP, Opcode.ATOMIC_FETCH_AND_ADD)
-
-    @property
-    def needs_response_payload(self) -> bool:
-        """READ and ATOMIC carry data back to the requester."""
-        return self is Opcode.RDMA_READ or self.is_atomic
+for _op in Opcode:
+    _op.is_one_sided = _op in (
+        Opcode.RDMA_WRITE,
+        Opcode.RDMA_WRITE_WITH_IMM,
+        Opcode.RDMA_READ,
+        Opcode.ATOMIC_CMP_AND_SWP,
+        Opcode.ATOMIC_FETCH_AND_ADD,
+    )
+    _op.is_two_sided = _op in (Opcode.SEND, Opcode.SEND_WITH_IMM)
+    #: Does this opcode consume a RECV WR at the responder?
+    _op.consumes_recv = _op in (
+        Opcode.SEND,
+        Opcode.SEND_WITH_IMM,
+        Opcode.RDMA_WRITE_WITH_IMM,
+    )
+    _op.is_atomic = _op in (Opcode.ATOMIC_CMP_AND_SWP, Opcode.ATOMIC_FETCH_AND_ADD)
+    #: READ and ATOMIC carry data back to the requester.
+    _op.needs_response_payload = _op.is_atomic or _op is Opcode.RDMA_READ
+del _op
 
 
 class WCStatus(enum.Enum):

@@ -98,9 +98,18 @@ class RNIC:
         self._control_busy_until = -1.0
 
         # Requests are executed by a serial rx worker so responder-side
-        # contention delays are ordered per NIC.
+        # contention delays are ordered per NIC.  _rx_backlog counts items
+        # handed to the worker but not yet executed; while it is zero and no
+        # contention applies, requests take a synchronous fast path instead
+        # of a queue round-trip (order is trivially preserved).
         self._rx_queue: Queue = Queue(sim)
+        self._rx_backlog = 0
         sim.spawn(self._rx_worker(), name=f"{self.name}:rx")
+
+        # CQE delivery coalescing: completions raised back-to-back at the
+        # same simulated time share one completion_delivery_s event.
+        self._wc_batch: Optional[list] = None
+        self._wc_batch_time = -1.0
 
         # Ethtool-style byte counters (Figure 5's measurement source).
         self.tx_bytes = 0
@@ -244,7 +253,29 @@ class RNIC:
         if qp.qpn not in self.qps:
             raise QPStateError(f"QP {qp.qpn:#x} does not belong to {self.name}")
         qp.enqueue_send(wr)
+        wr._pays_doorbell = True
         self._kicks[qp.qpn].put(True)
+
+    def post_send_wrs(self, qp: QP, wrs) -> None:
+        """Post a chain of WRs with one doorbell (ibverbs WR-list semantics).
+
+        Ordering, SSN assignment, and completions are identical to posting
+        the WRs one at a time; only the doorbell cost is charged once for
+        the whole chain and the engine is woken once.  Mirrors
+        ``ibv_post_send``: if enqueueing fails partway, the WRs accepted so
+        far are still submitted and the error propagates.
+        """
+        if qp.qpn not in self.qps:
+            raise QPStateError(f"QP {qp.qpn:#x} does not belong to {self.name}")
+        posted = 0
+        try:
+            for wr in wrs:
+                qp.enqueue_send(wr)
+                wr._pays_doorbell = posted == 0
+                posted += 1
+        finally:
+            if posted:
+                self._kicks[qp.qpn].put(True)
 
     def post_recv(self, qp: QP, wr: RecvWR) -> None:
         qp.enqueue_recv(wr)
@@ -259,13 +290,22 @@ class RNIC:
     def _engine(self, qp: QP):
         kick = self._kicks[qp.qpn]
         cfg = self.config.rnic
+        doorbell_s = cfg.doorbell_s
+        per_wqe_s = cfg.per_wqe_processing_s
         try:
             while True:
                 if not qp.sq_pending:
                     yield kick.get()
                     continue
+                # Any queued kick tokens are redundant now — we keep draining
+                # sq_pending until it is empty regardless.  Dropping them
+                # avoids a wasted wakeup event per already-consumed WR.
+                kick.clear()
                 wr = qp.sq_pending.popleft()
-                yield self.sim.timeout(cfg.doorbell_s + cfg.per_wqe_processing_s)
+                if getattr(wr, "_pays_doorbell", True):
+                    yield self.sim.timeout(doorbell_s + per_wqe_s)
+                else:
+                    yield self.sim.timeout(per_wqe_s)
                 if qp.state is not QPState.RTS:
                     self._complete_send(qp, wr, qp.next_ssn(), WCStatus.WR_FLUSH_ERR, force=True)
                     continue
@@ -403,8 +443,7 @@ class RNIC:
     # -- retransmission (go-back-N) ------------------------------------------
 
     def _arm_retransmit(self, qp: QP, ssn: int) -> None:
-        rto = self._rto(qp)
-        self.sim.schedule(rto, lambda: self._maybe_retransmit(qp, ssn))
+        self.sim.schedule(self._rto(qp), self._maybe_retransmit, qp, ssn)
 
     def _rto(self, qp: QP) -> float:
         base = 4 * self.config.link.propagation_delay_s + 500e-6
@@ -466,7 +505,14 @@ class RNIC:
         payload = message.payload
         kind = payload["kind"]
         if kind == "req":
+            if self._rx_backlog == 0 and not self.control_busy:
+                # Idle, uncontended pipeline: execute in place.
+                self.rx_bytes += message.size_bytes
+                self.rx_msgs += 1
+                self._handle_request(message.src, payload)
+                return
             # Counted when the (possibly contended) rx pipeline delivers it.
+            self._rx_backlog += 1
             self._rx_queue.put((message.src, message.size_bytes, payload))
             return
         self.rx_bytes += message.size_bytes
@@ -497,6 +543,7 @@ class RNIC:
             self.rx_bytes += size_bytes
             self.rx_msgs += 1
             self._handle_request(src_node, payload)
+            self._rx_backlog -= 1
 
     # -- responder -------------------------------------------------------------
 
@@ -630,13 +677,28 @@ class RNIC:
     def _push_recv_cqe(self, qp: QP, recv_wr: RecvWR, status: WCStatus, byte_len: int,
                        imm: Optional[int]) -> None:
         qp.n_recv_completed += 1
-        self.sim.schedule(
-            self.config.rnic.completion_delivery_s,
-            lambda: qp.recv_cq.push(WorkCompletion(
-                wr_id=recv_wr.wr_id, status=status, opcode=Opcode.RECV,
-                qp_num=qp.qpn, byte_len=byte_len, imm_data=imm,
-            )),
-        )
+        self._deliver_wc(qp.recv_cq, WorkCompletion(
+            wr_id=recv_wr.wr_id, status=status, opcode=Opcode.RECV,
+            qp_num=qp.qpn, byte_len=byte_len, imm_data=imm,
+        ))
+
+    def _deliver_wc(self, cq: CQ, wc: WorkCompletion) -> None:
+        """Deliver a CQE after completion_delivery_s, batching back-to-back
+        completions raised at the same simulated time into one event."""
+        batch = self._wc_batch
+        if batch is not None and self._wc_batch_time == self.sim.now:
+            batch.append((cq, wc))
+            return
+        batch = [(cq, wc)]
+        self._wc_batch = batch
+        self._wc_batch_time = self.sim.now
+        self.sim.schedule(self.config.rnic.completion_delivery_s, self._flush_wc_batch, batch)
+
+    def _flush_wc_batch(self, batch: list) -> None:
+        if batch is self._wc_batch:
+            self._wc_batch = None
+        for cq, wc in batch:
+            cq.push(wc)
 
     def _execute_write(self, qp: QP, payload: dict, opcode: Opcode) -> bool:
         data = payload["data"]
@@ -776,10 +838,7 @@ class RNIC:
         if wr.signaled or status is not WCStatus.SUCCESS or force:
             if not byte_len and wr.opcode is not Opcode.RDMA_READ and not wr.opcode.is_atomic:
                 byte_len = wr.total_length
-            self.sim.schedule(
-                self.config.rnic.completion_delivery_s,
-                lambda: qp.send_cq.push(WorkCompletion(
-                    wr_id=wr.wr_id, status=status, opcode=wr.opcode,
-                    qp_num=qp.qpn, byte_len=byte_len, imm_data=wr.imm_data,
-                )),
-            )
+            self._deliver_wc(qp.send_cq, WorkCompletion(
+                wr_id=wr.wr_id, status=status, opcode=wr.opcode,
+                qp_num=qp.qpn, byte_len=byte_len, imm_data=wr.imm_data,
+            ))

@@ -81,25 +81,23 @@ class RecvWR:
 
 
 def clone_send_wr(wr: SendWR) -> SendWR:
-    """A shallow-ish copy safe to re-post (used by WR replay after restore)."""
-    return SendWR(
-        wr_id=wr.wr_id,
-        opcode=wr.opcode,
-        sges=[SGE(s.addr, s.length, s.lkey) for s in wr.sges],
-        signaled=wr.signaled,
-        imm_data=wr.imm_data,
-        remote_addr=wr.remote_addr,
-        rkey=wr.rkey,
-        compare_add=wr.compare_add,
-        swap=wr.swap,
-        remote_node=wr.remote_node,
-        remote_qpn=wr.remote_qpn,
-        bind_mw=wr.bind_mw,
-        bind_mr=wr.bind_mr,
-        bind_access=wr.bind_access,
-        inline=wr.inline,
-        inline_data=wr.inline_data,
-    )
+    """A shallow-ish copy safe to re-post (used by WR replay after restore).
+
+    Built via ``__new__`` + dict copy: the source WR was validated at
+    construction, so re-running ``__init__``/``__post_init__`` on this hot
+    path (every intercepted/translated WR) would be pure overhead.
+    """
+    new = SendWR.__new__(SendWR)
+    new.__dict__.update(wr.__dict__)
+    sges = []
+    for s in wr.sges:
+        c = SGE.__new__(SGE)
+        c.addr = s.addr
+        c.length = s.length
+        c.lkey = s.lkey
+        sges.append(c)
+    new.sges = sges
+    return new
 
 
 def clone_recv_wr(wr: RecvWR) -> RecvWR:

@@ -1,16 +1,41 @@
 """Core discrete-event simulation primitives.
 
-The simulator keeps a heap of ``(time, sequence, callback)`` entries and
-advances simulated time by popping them in order.  Work is expressed as
+The simulator keeps a heap of ``(time, sequence, callback, args)`` entries
+and advances simulated time by popping them in order.  Work is expressed as
 generator-based processes that ``yield`` events; a process resumes when the
 yielded event fires, receiving the event's value (or the event's exception,
 raised inside the generator).
+
+Fast paths
+----------
+The kernel is the hot loop of every experiment, so it carries a few
+wall-clock optimisations that do not change simulated-time semantics:
+
+- ``Timeout`` objects are pooled on a per-simulator free list.  A timeout
+  whose only consumer was a process ``yield`` (the overwhelmingly common
+  case) is recycled as soon as its callback has run; timeouts that are
+  stored, raced in conditions, or otherwise observed after firing are never
+  recycled.
+- Callbacks added to an already-processed event dispatch immediately
+  instead of round-tripping the heap through a closure, and a process that
+  yields an already-processed event consumes it synchronously in a loop
+  (no recursion, no heap traffic).
+- ``schedule`` accepts ``*args`` so hot callers can pass bound methods with
+  arguments instead of allocating closures.
+- ``Simulator.events_processed`` counts every executed heap entry; the
+  ``benchmarks/test_simperf.py`` harness divides it by wall-clock time to
+  track the kernel's events/sec across PRs.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
+from types import MethodType
 from typing import Any, Callable, Generator, Iterable, List, Optional
+
+#: Upper bound on the per-simulator Timeout free list (plenty for the
+#: steady-state working set; prevents pathological growth after bursts).
+_TIMEOUT_POOL_MAX = 4096
 
 
 class SimulationError(RuntimeError):
@@ -35,7 +60,7 @@ class Event:
     An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
     triggers it exactly once, after which its callbacks run at the current
     simulated time.  Waiting on an already-triggered event resumes the
-    waiter immediately (at the current time, via the event queue).
+    waiter immediately (at the current time).
     """
 
     __slots__ = ("sim", "callbacks", "_value", "_exception", "_triggered", "_processed")
@@ -79,7 +104,9 @@ class Event:
             raise SimulationError("event already triggered")
         self._triggered = True
         self._value = value
-        self.sim._schedule_event(self)
+        sim = self.sim
+        sim._sequence = seq = sim._sequence + 1
+        heappush(sim._heap, (sim.now, seq, self._process_callbacks, ()))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -89,7 +116,9 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._triggered = True
         self._exception = exception
-        self.sim._schedule_event(self)
+        sim = self.sim
+        sim._sequence = seq = sim._sequence + 1
+        heappush(sim._heap, (sim.now, seq, self._process_callbacks, ()))
         return self
 
     def _process_callbacks(self) -> None:
@@ -99,28 +128,58 @@ class Event:
             callback(self)
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
-        """Run ``callback(event)`` once the event has been triggered."""
+        """Run ``callback(event)`` once the event has been triggered.
+
+        For an already-processed event the callback runs immediately: the
+        event's outcome is final by then, so there is nothing to wait for
+        and no closure/heap round-trip is needed.
+        """
         if self._processed:
-            # Already fired and drained: deliver asynchronously to preserve
-            # the invariant that callbacks never run inside add_callback().
-            self.sim.schedule(0.0, lambda: callback(self))
+            callback(self)
         else:
             self.callbacks.append(callback)
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` simulated seconds after creation."""
+    """An event that fires ``delay`` simulated seconds after creation.
+
+    Prefer :meth:`Simulator.timeout`, which recycles fired timeouts from a
+    free list.  A pooled timeout must not be stored and inspected after it
+    fires (use :meth:`Simulator.event` for that); timeouts consumed by a
+    plain ``yield`` — the only pattern the pool recycles — are safe.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self.delay = delay
-        self._triggered = True
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._schedule_event(self, delay=delay)
+        self._exception = None
+        self._triggered = True
+        self._processed = False
+        self.delay = delay
+        sim._sequence = seq = sim._sequence + 1
+        heappush(sim._heap, (sim.now + delay, seq, self._process_callbacks, ()))
+
+    def _process_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        if len(callbacks) == 1:
+            callback = callbacks[0]
+            callback(self)
+            # Recycle iff the only consumer was a process yield: nobody else
+            # holds a reference that could observe the reused object.
+            if (not self.callbacks and callback.__class__ is MethodType
+                    and callback.__func__ is Process._on_event):
+                pool = self.sim._timeout_pool
+                if len(pool) < _TIMEOUT_POOL_MAX:
+                    pool.append(self)
+            return
+        for callback in callbacks:
+            callback(self)
 
 
 class Process(Event):
@@ -153,7 +212,9 @@ class Process(Event):
         self._resume(None, None)
 
     def _on_event(self, event: Event) -> None:
-        if self._triggered:
+        if self._triggered or event is not self._waiting_on:
+            # Stale wakeup: the process was interrupted (or already resumed)
+            # while this event was in flight — ignore it.
             return
         self._waiting_on = None
         if event._exception is not None:
@@ -162,27 +223,35 @@ class Process(Event):
             self._resume(event._value, None)
 
     def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
-        try:
-            if exc is not None:
-                target = self.generator.throw(exc)
-            else:
-                target = self.generator.send(value)
-        except StopIteration as stop:
-            self.succeed(getattr(stop, "value", None))
-            return
-        except Interrupt as interrupt:
-            self.fail(interrupt)
-            return
-        except Exception as error:
-            self.sim.failed_processes.append((self.name, error))
-            self.fail(error)
-            return
-        if not isinstance(target, Event):
-            self.generator.close()
-            self.fail(SimulationError(f"process {self.name!r} yielded non-event {target!r}"))
-            return
-        self._waiting_on = target
-        target.add_callback(self._on_event)
+        generator = self.generator
+        while True:
+            try:
+                if exc is not None:
+                    target = generator.throw(exc)
+                else:
+                    target = generator.send(value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except Interrupt as interrupt:
+                self.fail(interrupt)
+                return
+            except Exception as error:
+                self.sim.failed_processes.append((self.name, error))
+                self.fail(error)
+                return
+            if not isinstance(target, Event):
+                generator.close()
+                self.fail(SimulationError(f"process {self.name!r} yielded non-event {target!r}"))
+                return
+            if not target._processed:
+                self._waiting_on = target
+                target.callbacks.append(self._on_event)
+                return
+            # Already-processed event: consume it synchronously and keep
+            # driving the generator (no heap round-trip, no recursion).
+            exc = target._exception
+            value = target._value if exc is None else None
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
@@ -193,7 +262,8 @@ class Process(Event):
             if self._triggered:
                 return
             # Detach from whatever the process was waiting on; the stale
-            # event callback is neutralised by the _waiting_on check below.
+            # event callback is neutralised by the _waiting_on identity
+            # check in _on_event.
             self._waiting_on = None
             self._resume(None, Interrupt(cause))
 
@@ -259,18 +329,22 @@ class Simulator:
         self.now: float = 0.0
         self._heap: List = []
         self._sequence = 0
+        self._timeout_pool: List[Timeout] = []
+        #: heap entries executed since construction — the numerator of the
+        #: events/sec throughput metric tracked in BENCH_simperf.json.
+        self.events_processed = 0
         #: (name, exception) of processes that died with an unhandled error —
         #: useful for debugging background processes nobody awaits.
         self.failed_processes: List = []
 
     # -- scheduling ------------------------------------------------------
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
-        """Run ``callback()`` ``delay`` seconds from now."""
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        self._sequence += 1
-        heapq.heappush(self._heap, (self.now + delay, self._sequence, callback))
+        self._sequence = seq = self._sequence + 1
+        heappush(self._heap, (self.now + delay, seq, callback, args))
 
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
         self.schedule(delay, event._process_callbacks)
@@ -281,6 +355,17 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
+        pool = self._timeout_pool
+        if pool and delay >= 0:
+            timeout = pool.pop()
+            timeout.delay = delay
+            timeout._value = value
+            timeout._exception = None
+            timeout._triggered = True
+            timeout._processed = False
+            self._sequence = seq = self._sequence + 1
+            heappush(self._heap, (self.now + delay, seq, timeout._process_callbacks, ()))
+            return timeout
         return Timeout(self, delay, value)
 
     def spawn(self, generator: Generator, name: str = "") -> Process:
@@ -296,11 +381,12 @@ class Simulator:
 
     def step(self) -> None:
         """Process the single next scheduled callback."""
-        when, _seq, callback = heapq.heappop(self._heap)
+        when, _seq, callback, args = heappop(self._heap)
         if when < self.now:
             raise SimulationError("event queue went backwards in time")
         self.now = when
-        callback()
+        self.events_processed += 1
+        callback(*args)
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue drains or simulated time reaches ``until``.
@@ -309,14 +395,23 @@ class Simulator:
         """
         if until is not None and until < self.now:
             raise ValueError(f"until={until} is in the past (now={self.now})")
-        while self._heap:
-            when = self._heap[0][0]
-            if until is not None and when > until:
+        heap = self._heap
+        if until is None:
+            while heap:
+                when, _seq, callback, args = heappop(heap)
+                self.now = when
+                self.events_processed += 1
+                callback(*args)
+            return self.now
+        while heap:
+            if heap[0][0] > until:
                 self.now = until
                 return self.now
-            self.step()
-        if until is not None:
-            self.now = until
+            when, _seq, callback, args = heappop(heap)
+            self.now = when
+            self.events_processed += 1
+            callback(*args)
+        self.now = until
         return self.now
 
     def run_until_complete(self, process: Process, limit: float = float("inf")) -> Any:
@@ -324,10 +419,14 @@ class Simulator:
 
         ``limit`` bounds simulated time as a runaway guard.
         """
-        while not process.triggered:
-            if not self._heap:
+        heap = self._heap
+        while not process._triggered:
+            if not heap:
                 raise SimulationError(f"deadlock: {process!r} never completed and the event queue drained")
-            if self._heap[0][0] > limit:
+            if heap[0][0] > limit:
                 raise SimulationError(f"time limit {limit} exceeded waiting for {process!r}")
-            self.step()
+            when, _seq, callback, args = heappop(heap)
+            self.now = when
+            self.events_processed += 1
+            callback(*args)
         return process.value

@@ -1,0 +1,54 @@
+"""Pin the simulated-time results of the reference migration scenario.
+
+The simulation kernel and RNIC fast paths (event pooling, CQE batching,
+batched doorbells, translation memoization) are pure wall-clock
+optimizations: with a fixed seed they must not move a single simulated
+timestamp.  This test pins the full blackout breakdown of
+``MigrationScenario(num_qps=16)`` to the exact values the model produced
+before those fast paths landed — any drift (even in the last ulp) means
+an optimization changed the event order or the RNG stream and must be
+fixed, or these constants consciously re-pinned alongside a model change.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+
+from bench_common import MigrationScenario  # noqa: E402
+
+#: Exact (==, not approx) expected values for the default seed.
+EXPECTED = {
+    "blackout_s": 0.06843010673967796,
+    "wbs_elapsed_s": 0.0006691043478271042,
+    "DumpRDMA": 0.0006250000000000006,
+    "DumpOthers": 0.024622788019677988,
+    "Transfer": 7.431871999999395e-05,
+    "FullRestore": 0.04310799999999998,
+    "final_now": 0.16772880412751187,
+}
+
+
+def test_reference_migration_simulated_time_pinned():
+    scenario = MigrationScenario(num_qps=16)
+    report = scenario.run_migration()
+    phases = dict(report.breakdown.ordered())
+
+    assert report.blackout_s == EXPECTED["blackout_s"]
+    assert report.wbs_elapsed_s == EXPECTED["wbs_elapsed_s"]
+    assert phases["DumpRDMA"] == EXPECTED["DumpRDMA"]
+    assert phases["DumpOthers"] == EXPECTED["DumpOthers"]
+    assert phases["Transfer"] == EXPECTED["Transfer"]
+    assert phases["FullRestore"] == EXPECTED["FullRestore"]
+    assert "RestoreRDMA" not in phases  # presetup scenario
+    assert scenario.tb.sim.now == EXPECTED["final_now"]
+
+
+def test_reference_migration_is_deterministic():
+    runs = []
+    for _ in range(2):
+        scenario = MigrationScenario(num_qps=16)
+        report = scenario.run_migration()
+        runs.append((report.blackout_s, scenario.tb.sim.now,
+                     scenario.tb.sim.events_processed))
+    assert runs[0] == runs[1]

@@ -177,3 +177,70 @@ class TestRecvTracking:
         wcs = drain(tb, lib, h["cq"], 1)
         assert wcs[0].opcode is Opcode.RECV
         assert len(h["qp"].posted_recvs) == 3  # one matched, three replayable
+
+
+class TestBatchedPosting:
+    """lib.post_send_wrs: one chain through translation and the NIC."""
+
+    def _write_wrs(self, h, n):
+        return [SendWR(wr_id=i, opcode=Opcode.RDMA_WRITE,
+                       sges=[make_sge(h["mr"], 0, 64)],
+                       remote_addr=h["pmr"].addr, rkey=h["pmr"].rkey)
+                for i in range(n)]
+
+    def test_chain_completes_in_order(self, env):
+        tb, world, lib, peer_lib, process, h = env
+        lib.post_send_wrs(h["qp"], self._write_wrs(h, 5))
+        wcs = drain(tb, lib, h["cq"], 5)
+        assert [wc.wr_id for wc in wcs] == [0, 1, 2, 3, 4]
+        assert all(wc.status is WCStatus.SUCCESS for wc in wcs)
+
+    def test_chain_intercepted_while_suspended(self, env):
+        tb, world, lib, peer_lib, process, h = env
+        layer = world.layer(tb.source.name)
+        layer.raise_suspension(process.pid)
+        lib.post_send_wrs(h["qp"], self._write_wrs(h, 3))
+        assert len(h["qp"].intercepted_sends) == 3
+        assert h["qp"]._phys.send_inflight == 0
+
+    def test_lkey_translation_memoized_per_qp(self, env):
+        tb, world, lib, peer_lib, process, h = env
+        qp = h["qp"]
+        assert qp.xlate_cache is None
+        lib.post_send_wrs(qp, self._write_wrs(h, 2))
+        cached = qp.xlate_cache
+        assert cached is not None
+        lib.post_send(qp, self._write_wrs(h, 1)[0])
+        assert qp.xlate_cache is cached  # same tuple: cache hit, no rebuild
+        drain(tb, lib, h["cq"], 3)
+
+    def test_dereg_mr_invalidates_translation_cache(self, env):
+        tb, world, lib, peer_lib, process, h = env
+        qp = h["qp"]
+        lib.post_send_wrs(qp, self._write_wrs(h, 1))
+        drain(tb, lib, h["cq"], 1)
+        epoch = qp.xlate_cache[0]
+
+        def flow():
+            vma = process.space.mmap(4096, tag="data")
+            mr = yield from lib.reg_mr(h["pd"], vma.start, 4096,
+                                       AccessFlags.all_remote())
+            yield from lib.dereg_mr(mr)
+
+        tb.run(flow())
+        assert lib._xlate_epoch > epoch  # stale vlkey->plkey mappings dropped
+
+    def test_identity_translation_posts_original_wr(self, env):
+        tb, world, lib, peer_lib, process, h = env
+        peer_lib.post_recv(h["pqp"], RecvWR(wr_id=1, sges=[make_sge(h["pmr"], 0, 64)]))
+        # A zero-length SEND needs no lkey or rkey translation at all: the
+        # fast path must hand the NIC the original WR, not a clone.
+        wr = SendWR(wr_id=9, opcode=Opcode.SEND, sges=[])
+
+        def driver():
+            lib.post_send(h["qp"], wr)
+            assert h["qp"]._phys.sq_pending[0] is wr
+            yield tb.sim.timeout(1e-3)
+
+        tb.run(driver())
+        assert drain(tb, peer_lib, h["pcq"], 1)[0].wr_id == 1

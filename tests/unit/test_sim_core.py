@@ -288,3 +288,101 @@ class TestConditions:
     def test_condition_classes_exported(self, sim):
         assert isinstance(sim.all_of([]), AllOf)
         assert isinstance(sim.any_of([sim.event()]), AnyOf)
+
+
+class TestStaleWakeups:
+    """An interrupted wait must not be resumed by the event it abandoned."""
+
+    def test_stale_event_does_not_resume_later_wait(self, sim):
+        e1 = sim.event()
+        e2 = sim.event()
+        log = []
+
+        def proc():
+            try:
+                log.append(("e1", (yield e1)))
+            except Interrupt as interrupt:
+                log.append(("interrupted", interrupt.cause))
+            log.append(("e2", (yield e2)))
+
+        process = sim.spawn(proc())
+        sim.schedule(1.0, lambda: process.interrupt("stop"))
+        # e1 fires while the process is already waiting on e2: its queued
+        # callback must be ignored, not mistaken for the e2 wakeup.
+        sim.schedule(2.0, lambda: e1.succeed("stale"))
+        sim.schedule(3.0, lambda: e2.succeed("fresh"))
+        sim.run()
+        assert log == [("interrupted", "stop"), ("e2", "fresh")]
+
+    def test_interrupt_then_event_does_not_double_resume(self, sim):
+        event = sim.event()
+        resumes = []
+
+        def proc():
+            try:
+                yield event
+            except Interrupt:
+                resumes.append(sim.now)
+
+        process = sim.spawn(proc())
+        sim.schedule(1.0, lambda: process.interrupt())
+        sim.schedule(1.0, lambda: event.succeed())
+        sim.run()
+        assert resumes == [1.0]
+        assert not sim.failed_processes
+
+
+class TestKernelFastPaths:
+    def test_events_processed_counts_heap_entries(self, sim):
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_events_processed_counts_process_steps(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            yield sim.timeout(1.0)
+
+        sim.run_until_complete(sim.spawn(proc()))
+        # spawn start + two timeout firings (run_until_complete returns as
+        # soon as the process triggers, before its completion event pops).
+        assert sim.events_processed == 3
+
+    def test_recycled_timeouts_deliver_fresh_values(self, sim):
+        seen = []
+
+        def proc():
+            for i in range(10):
+                seen.append((yield sim.timeout(0.5, value=i)))
+
+        sim.run_until_complete(sim.spawn(proc()))
+        assert seen == list(range(10))
+        assert sim.now == 5.0
+        assert len(sim._timeout_pool) > 0  # recycling actually happened
+
+    def test_pooled_timeout_not_recycled_under_conditions(self, sim):
+        def proc():
+            slow = sim.timeout(5.0, value="slow")
+            fast = sim.timeout(1.0, value="fast")
+            event, value = yield sim.any_of([slow, fast])
+            # The fired timeout must keep its value even though the process
+            # resumed through the condition, not the timeout itself.
+            assert value == "fast"
+            assert fast.value == "fast"
+            yield slow
+            assert slow.value == "slow"
+
+        sim.run_until_complete(sim.spawn(proc()))
+        assert not sim.failed_processes
+
+    def test_already_processed_event_resumes_synchronously(self, sim):
+        event = sim.event()
+        event.succeed("ready")
+
+        def proc():
+            value = yield event
+            return (value, sim.now)
+
+        sim.schedule(0.0, lambda: None)
+        assert sim.run_until_complete(sim.spawn(proc())) == ("ready", 0.0)
