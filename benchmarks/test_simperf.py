@@ -9,10 +9,17 @@ engine, page copying) show up in review diffs.
 
 ``REPRO_BENCH_FULL=1`` runs the paper-scale scenario; the default stays
 laptop-quick.  Wall-clock numbers are machine-dependent — the JSON is a
-tracking artifact, the assertions only check sanity, not speed.
+tracking artifact.  On top of the sanity assertions, the test guards
+against large regressions: if the previous ``BENCH_simperf.json`` was
+produced by the same scenario, the new events/sec must stay within
+``GUARD_TOLERANCE`` of it.  The 30% band is deliberately generous (CI
+machines are noisy); tripping it means a hot path genuinely slowed down.
+Set ``REPRO_BENCH_NO_GUARD=1`` to skip the comparison (first run on new
+hardware, or an accepted slowdown).
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -23,6 +30,9 @@ RESULT_FILE = REPO_ROOT / "BENCH_simperf.json"
 
 NUM_QPS = 256 if FULL_MODE else 16
 ROUNDS = 1 if FULL_MODE else 3
+
+#: New events/sec must be at least this fraction of the previous run's.
+GUARD_TOLERANCE = 0.70
 
 
 def _one_round():
@@ -52,10 +62,30 @@ def test_simperf_events_per_sec():
         "sim_time_s": scenario.tb.sim.now,
         "blackout_ms": report.blackout_s * 1e3,
     }
+
+    previous = None
+    if RESULT_FILE.exists():
+        try:
+            previous = json.loads(RESULT_FILE.read_text())
+        except (ValueError, OSError):
+            previous = None
     RESULT_FILE.write_text(json.dumps(result, indent=2) + "\n")
 
-    # Sanity only: wall-clock speed is machine-dependent.
+    # Sanity: wall-clock speed is machine-dependent, but never zero.
     assert result["events_processed"] > 10_000
     assert result["events_per_sec"] > 0
     assert result["migration_wallclock_s"] > 0
     assert report.blackout_s > 0
+
+    # Regression guard vs the previous committed run of the same scenario.
+    if (previous is not None
+            and not os.environ.get("REPRO_BENCH_NO_GUARD")
+            and previous.get("scenario") == result["scenario"]
+            and previous.get("events_per_sec")):
+        floor = previous["events_per_sec"] * GUARD_TOLERANCE
+        assert result["events_per_sec"] >= floor, (
+            f"simulator throughput regressed: {result['events_per_sec']} "
+            f"events/sec vs previous {previous['events_per_sec']} "
+            f"(floor {floor:.0f}, tolerance {GUARD_TOLERANCE:.0%}). "
+            f"If the slowdown is expected, commit the new BENCH_simperf.json "
+            f"or set REPRO_BENCH_NO_GUARD=1.")

@@ -199,6 +199,10 @@ class MigrRdmaGuestLib(VerbsAPI):
         self.fetch_rpcs = 0
         #: successful demand resolutions (cache fills from fetches)
         self.demand_fetches = 0
+        #: send WRs intercepted while suspended (buffered for replay, §3.4)
+        self.wrs_intercepted = 0
+        #: WRs re-posted by :meth:`replay_after_restore` (sends and recvs)
+        self.wrs_replayed = 0
         #: old physical QPN -> vqpn, for fake-CQ translation after restore
         self.temp_qpn_map: Dict[int, int] = {}
         self._pending_binds: Dict[Tuple[int, int], Tuple[VirtMW, VirtMR, int, object]] = {}
@@ -221,6 +225,9 @@ class MigrRdmaGuestLib(VerbsAPI):
 
     def _charge(self, cycles: float) -> None:
         self.process.cpu.charge("virt", cycles)
+
+    def _trace_lane(self, tracer):
+        return tracer.lane(self.node_name, f"lib:pid{self.process.pid}")
 
     def rebind(self, layer: IndirectionLayer, process: AppProcess) -> None:
         """Point the lib at the migration destination after restore."""
@@ -346,6 +353,13 @@ class MigrRdmaGuestLib(VerbsAPI):
         cfg = cpu.config
         cpu.charge_base(_OP_LABEL[wr.opcode])
         cpu.charge("virt", cfg.suspension_flag_check_cycles)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            # The guest lib *is* the process's verbs surface: application
+            # posts land on the same lane DirectVerbs uses.
+            tracer.instant(tracer.lane(self.node_name, "verbs"),
+                           f"post:{_OP_LABEL[wr.opcode]}",
+                           {"vqpn": qp.vqpn, "bytes": wr.total_length})
         if wr.inline and wr.inline_data is None:
             # Capture before any buffering: the inline copy happens at post
             # time even when the WR is intercepted during suspension.
@@ -354,6 +368,11 @@ class MigrRdmaGuestLib(VerbsAPI):
             # Intercept: pretend the WR was posted (§3.4).
             cpu.charge("virt", cfg.wr_intercept_buffer_cycles)
             qp.intercepted_sends.append(clone_send_wr(wr))
+            self.wrs_intercepted += 1
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.instant(self._trace_lane(tracer), "wr-intercept",
+                               {"vqpn": qp.vqpn})
             return
         if qp.pending_fetch:
             qp.pending_fetch.append(clone_send_wr(wr))  # keep per-QP order
@@ -375,6 +394,10 @@ class MigrRdmaGuestLib(VerbsAPI):
         """
         cpu = self.process.cpu
         cfg = cpu.config
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(tracer.lane(self.node_name, "verbs"),
+                           "post:chain", {"vqpn": qp.vqpn, "wrs": len(wrs)})
         chain: List[SendWR] = []
         for wr in wrs:
             cpu.charge_base(_OP_LABEL[wr.opcode])
@@ -384,6 +407,11 @@ class MigrRdmaGuestLib(VerbsAPI):
             if qp.suspended:
                 cpu.charge("virt", cfg.wr_intercept_buffer_cycles)
                 qp.intercepted_sends.append(clone_send_wr(wr))
+                self.wrs_intercepted += 1
+                tracer = self.sim.tracer
+                if tracer is not None:
+                    tracer.instant(self._trace_lane(tracer), "wr-intercept",
+                                   {"vqpn": qp.vqpn})
                 continue
             if qp.pending_fetch:
                 qp.pending_fetch.append(clone_send_wr(wr))
@@ -522,6 +550,7 @@ class MigrRdmaGuestLib(VerbsAPI):
         while qp.pending_fetch:
             if qp.suspended:
                 # Migration hit mid-fetch: the queued WRs become intercepted.
+                self.wrs_intercepted += len(qp.pending_fetch)
                 qp.intercepted_sends.extend(qp.pending_fetch)
                 qp.pending_fetch.clear()
                 break
@@ -547,6 +576,10 @@ class MigrRdmaGuestLib(VerbsAPI):
         Returns True when the value was resolved and cached.
         """
         self.fetch_rpcs += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(self._trace_lane(tracer), "rkey-fetch",
+                           {"vqpn": qp.vqpn})
         if qp.qp_type is QPType.UD and wr.opcode.is_two_sided:
             node = wr.remote_node
             for _hop in range(4):  # follow forwarding pointers
@@ -621,6 +654,11 @@ class MigrRdmaGuestLib(VerbsAPI):
             for wc in self.poll_real(cq, max_entries - len(out)):
                 out.append(self._translate_wc(wc, from_fake=False))
                 cpu.charge("virt", cfg.qpn_array_lookup_cycles)
+        if out:
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.instant(tracer.lane(self.node_name, "verbs"),
+                               "poll", {"n": len(out)})
         return out
 
     def poll_real(self, cq: VirtCQ, max_entries: int) -> List[WorkCompletion]:
@@ -738,15 +776,22 @@ class MigrRdmaGuestLib(VerbsAPI):
         """Step 7 of Figure 2(b): replay RECV WRs that never matched, then
         (buggy-network case) WRs posted-but-not-completed, then the WRs
         intercepted during suspension."""
+        tracer = self.sim.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            span = tracer.begin_span(self._trace_lane(tracer), "wr-replay",
+                                     {"vqpn": vqp.vqpn})
         recvs = list(vqp.posted_recvs)
         vqp.posted_recvs.clear()
         for wr in recvs:
             self.post_recv(vqp, wr)
+        replayed = len(recvs)
         if vqp.vsrq is not None:
             pending = list(vqp.vsrq.posted_recvs)
             vqp.vsrq.posted_recvs.clear()
             for wr in pending:
                 self.post_srq_recv(vqp.vsrq, wr)
+            replayed += len(pending)
         unacked, vqp.unacked_for_replay = vqp.unacked_for_replay, []
         for wr in unacked:
             self.post_send(vqp, wr)
@@ -754,3 +799,8 @@ class MigrRdmaGuestLib(VerbsAPI):
         vqp.intercepted_sends.clear()
         for wr in intercepted:
             self.post_send(vqp, wr)
+        replayed += len(unacked) + len(intercepted)
+        self.wrs_replayed += replayed
+        if span is not None:
+            span.end(recvs=len(recvs), unacked=len(unacked),
+                     intercepted=len(intercepted))

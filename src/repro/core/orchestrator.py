@@ -103,12 +103,23 @@ class LiveMigration:
     # the workflow
     # ------------------------------------------------------------------
 
+    def _trace_lane(self, tracer):
+        return tracer.lane("migration", "workflow")
+
     def run(self):
         """Generator: execute the migration; returns the report."""
         report = self.report
         report.t_start = self.sim.now
         channel = self.tb.channel(self.source.name, self.dest.name)
         partners = self.plugin.partner_map(self.container)
+
+        tracer = self.sim.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            span = tracer.begin_span(
+                self._trace_lane(tracer), "pre-copy",
+                {"container": self.container.name, "dest": self.dest.name,
+                 "presetup": self.presetup})
 
         # ---- Pre-copy phase (Fig. 2b steps 1-2) --------------------------
         image = yield from self.runc.checkpoint_rdma(self.container)
@@ -134,6 +145,11 @@ class LiveMigration:
         if self.presetup and not self._abort_requested:
             yield from self._wait_presetup(partners)
         report.t_presetup_done = self.sim.now
+        if span is not None:
+            span.end(iterations=report.precopy_iterations,
+                     bytes=report.bytes_transferred,
+                     aborted=self._abort_requested)
+            span = None
 
         if self._abort_requested:
             yield from self._rollback(session, partners)
@@ -143,9 +159,14 @@ class LiveMigration:
 
         # ---- Wait-before-stop (step 3) ------------------------------------
         report.t_suspend = self.sim.now
+        if tracer is not None and tracer.enabled:
+            span = tracer.begin_span(self._trace_lane(tracer), "wait-before-stop")
         self._suspend_source()
         yield from self._suspend_partners(partners)
         yield from self._wait_wbs(partners)
+        if span is not None:
+            span.end()
+            span = None
         report.wbs_wall_s = self.sim.now - report.t_suspend
         report.wbs_elapsed_s = max(
             (lib.wbs.last_elapsed_s for lib in self._involved_libs(partners)),
@@ -155,6 +176,8 @@ class LiveMigration:
 
         # ---- Stop-and-copy (steps 4-6) -------------------------------------
         report.t_freeze = self.sim.now
+        if tracer is not None and tracer.enabled:
+            span = tracer.begin_span(self._trace_lane(tracer), "stop-and-copy")
         self.runc.freeze(self.container)
         # Final drain + incomplete-WR snapshot (no-op unless WBS timed out).
         for lib in self._source_libs():
@@ -202,10 +225,19 @@ class LiveMigration:
         restored = self.runc.exec_restore(session)
         self._resume_apps(session, restored)
         report.t_resume = self.sim.now
+        if span is not None:
+            span.end(blackout_s=report.blackout_s)
+            span = None
+        if tracer is not None and tracer.enabled:
+            tracer.instant(self._trace_lane(tracer), "resume",
+                           {"blackout_s": report.blackout_s})
+            span = tracer.begin_span(self._trace_lane(tracer), "source-reclaim")
 
         # ---- Source reclamation (off the critical path) ------------------------
         self.source.remove_container(self.container.name)
         yield from self.plugin.cleanup_source(old_resources)
+        if span is not None:
+            span.end()
         report.t_end = self.sim.now
         return report
 
@@ -301,6 +333,12 @@ class LiveMigration:
                 yield self.sim.timeout(STATUS_POLL_S)
 
     def _switch_partners(self, partners: Dict[str, List[int]]):
+        tracer = self.sim.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            span = tracer.begin_span(
+                tracer.lane("migration", "partner-switchover"), "switchover",
+                {"partners": len(partners)})
         for node in partners:
             yield from self.world.control.call(
                 self.source.name, node, "switchover_for_service",
@@ -313,6 +351,8 @@ class LiveMigration:
                 if status["done"]:
                     break
                 yield self.sim.timeout(STATUS_POLL_S)
+        if span is not None:
+            span.end()
 
     def _resume_apps(self, session, restored: Container) -> None:
         """Re-attach application objects to their restored processes."""

@@ -55,7 +55,12 @@ class WaitBeforeStop:
         self.done = Broadcast(self.sim, sticky=True)
         self.last_elapsed_s = 0.0
         self.timed_out = False
+        #: CQ entries stashed into fake CQs across all drains (observability).
+        self.absorbed_cqes = 0
         self._thread = self.sim.spawn(self._run(), name=f"wbs:{lib.process.pid}")
+
+    def _lane(self, tracer):
+        return tracer.lane(self.lib.node_name, f"wbs:pid{self.lib.process.pid}")
 
     # -- public state ---------------------------------------------------------
 
@@ -83,7 +88,19 @@ class WaitBeforeStop:
                     self.done.fire(0.0)
                     continue
                 started = self.sim.now
+                tracer = self.sim.tracer
+                span = None
+                if tracer is not None and tracer.enabled:
+                    lane = self._lane(tracer)
+                    tracer.instant(lane, "suspend-observed",
+                                   {"suspended_qps": len(suspended)})
+                    span = tracer.begin_span(lane, "wbs-drain",
+                                             {"suspended_qps": len(suspended)})
+                absorbed_before = self.absorbed_cqes
                 yield from self._drain(suspended)
+                if span is not None:
+                    span.end(absorbed_cqes=self.absorbed_cqes - absorbed_before,
+                             timed_out=self.timed_out)
                 self.last_elapsed_s = self.sim.now - started
                 self.lib.build_temp_qpn_map()
                 self.done.fire(self.last_elapsed_s)
@@ -134,6 +151,11 @@ class WaitBeforeStop:
                     break
                 drained += len(wcs)
                 vcq.fake.extend(wcs)
+        if drained:
+            self.absorbed_cqes += drained
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.instant(self._lane(tracer), "fake-cq-absorb", {"n": drained})
         return drained
 
     def _finished(self, suspended: List["VirtQP"]) -> bool:
@@ -159,6 +181,10 @@ class WaitBeforeStop:
         :meth:`~repro.core.guest_lib.MigrRdmaGuestLib.capture_incomplete_for_replay`,
         because WRs may still complete between now and the final stop."""
         self.timed_out = True
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(self._lane(tracer), "wbs-timeout",
+                           {"suspended_qps": len(suspended)})
 
     def _unvirtualize(self, vqp: "VirtQP", wrs) -> list:
         """Physical WRs back to virtual form so replay can re-translate.

@@ -315,6 +315,10 @@ class MigrRdmaWorld:
     def lib_for_pid(self, pid: int) -> Optional[MigrRdmaGuestLib]:
         return self._libs_by_pid.get(pid)
 
+    def all_libs(self) -> List[MigrRdmaGuestLib]:
+        """Every guest lib in the world (observability scrapers use this)."""
+        return list(self._libs_by_pid.values())
+
     def move_lib(self, lib: MigrRdmaGuestLib, from_server: str, to_server: str) -> None:
         """Re-home a guest lib after its container migrated."""
         if lib in self._libs.get(from_server, []):

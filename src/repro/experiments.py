@@ -9,6 +9,7 @@ Usage::
     python -m repro.experiments table4
     python -m repro.experiments fig6 [--task dfsio] [--fast]
     python -m repro.experiments migros [--qps 16,64,256]
+    python -m repro.experiments trace [--qps 8] [--out trace.json]
 
 The pytest benchmarks under ``benchmarks/`` remain the canonical
 reproduction (they also assert the paper's shape claims); this runner is
@@ -177,6 +178,52 @@ def cmd_fig6(args) -> None:
         print(f"{scenario:<12}{outcome.jct_s:>8.2f}{tput}")
 
 
+def cmd_trace(args) -> None:
+    """One traced migration: Chrome trace JSON + text timeline summary."""
+    from repro.obs import MetricsRegistry, Tracer, timeline_summary, write_chrome_trace
+
+    tb = cluster.build(num_partners=1)
+    tracer = Tracer(tb.sim, kernel_dispatch=args.kernel_dispatch).attach()
+    world = MigrRdmaWorld(tb)
+    kwargs = dict(world=world, mode="write", msg_size=args.msg_size, depth=8)
+    migrate = args.migrate
+    sender = PerftestEndpoint(tb.source if migrate == "sender" else tb.partners[0],
+                              name="tx", **kwargs)
+    receiver = PerftestEndpoint(tb.partners[0] if migrate == "sender" else tb.source,
+                                name="rx", **kwargs)
+    mover = sender if migrate == "sender" else receiver
+
+    def setup():
+        yield from sender.setup(qp_budget=args.qps)
+        yield from receiver.setup(qp_budget=args.qps)
+        yield from connect_endpoints(sender, receiver, qp_count=args.qps)
+
+    tb.run(setup())
+    sender.start_as_sender()
+
+    def flow():
+        yield tb.sim.timeout(2e-3)
+        migration = LiveMigration(world, mover.container, tb.destination,
+                                  presetup=not args.no_presetup)
+        report = yield from migration.run()
+        yield tb.sim.timeout(2e-3)
+        sender.stop()
+        receiver.stop()
+        yield tb.sim.timeout(2e-3)
+        return report
+
+    report = tb.run(flow(), limit=1200.0)
+    metrics = MetricsRegistry()
+    metrics.scrape_testbed(tb, world)
+    write_chrome_trace(tracer, args.out, metrics=metrics)
+    print(timeline_summary(tracer, metrics=metrics))
+    print()
+    print(f"blackout {report.blackout_s * 1e3:.1f} ms, "
+          f"wbs {report.wbs_elapsed_s * 1e6:.0f} us, "
+          f"{len(tracer)} trace records -> {args.out} "
+          f"(load in https://ui.perfetto.dev)")
+
+
 def cmd_migros(args) -> None:
     model = MigrOsModel(default_config())
     print(f"{'QPs':>6}{'migrrdma_ms':>13}{'migros_ms':>11}{'slowdown':>10}")
@@ -216,9 +263,18 @@ def main(argv=None) -> int:
     pm = sub.add_parser("migros", help="MigrRDMA vs MigrOS comparison")
     pm.add_argument("--qps", type=_csv_ints, default=[16, 64])
 
+    pt = sub.add_parser("trace", help="traced migration -> Perfetto JSON")
+    pt.add_argument("--qps", type=int, default=8)
+    pt.add_argument("--migrate", choices=["sender", "receiver"], default="sender")
+    pt.add_argument("--msg-size", type=int, default=65536)
+    pt.add_argument("--no-presetup", action="store_true")
+    pt.add_argument("--kernel-dispatch", action="store_true",
+                    help="per-event kernel dispatch instants (large trace)")
+    pt.add_argument("--out", default="trace.json")
+
     args = parser.parse_args(argv)
     if args.command == "list":
-        for name in ("fig3", "fig4", "fig5", "table4", "fig6", "migros"):
+        for name in ("fig3", "fig4", "fig5", "table4", "fig6", "migros", "trace"):
             print(name)
         return 0
     handler = globals()[f"cmd_{args.command}"]

@@ -35,8 +35,20 @@ class Node:
             raise ValueError(f"{self.name}: handler for protocol {protocol!r} already registered")
         self._handlers[protocol] = handler
 
-    def unregister_handler(self, protocol: str) -> None:
-        self._handlers.pop(protocol, None)
+    def unregister_handler(self, protocol: str, missing_ok: bool = False) -> None:
+        """Remove a protocol handler.
+
+        Mirrors :meth:`register_handler`'s strictness: unregistering a
+        protocol that was never registered raises :class:`LookupError`
+        (it usually means a typo or a double-close), unless the caller
+        passes ``missing_ok=True`` for idempotent teardown paths.
+        """
+        if protocol not in self._handlers:
+            if missing_ok:
+                return
+            raise LookupError(
+                f"{self.name}: no handler registered for protocol {protocol!r}")
+        del self._handlers[protocol]
 
     def deliver(self, message: Message) -> None:
         handler = self._handlers.get(message.protocol)

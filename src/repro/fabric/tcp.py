@@ -58,8 +58,9 @@ class TcpChannel:
         network.node(remote).register_handler(self.protocol, self._on_message)
 
     def close(self) -> None:
-        self.network.node(self.local).unregister_handler(self.protocol)
-        self.network.node(self.remote).unregister_handler(self.protocol)
+        # Idempotent teardown: closing twice is harmless.
+        self.network.node(self.local).unregister_handler(self.protocol, missing_ok=True)
+        self.network.node(self.remote).unregister_handler(self.protocol, missing_ok=True)
 
     # -- low-level send ------------------------------------------------------
 

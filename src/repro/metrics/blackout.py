@@ -69,11 +69,18 @@ class PhaseTimer:
         self.breakdown = breakdown
         self.phase = phase
         self._started_at: Optional[float] = None
+        self._span = None
 
     def start(self) -> "PhaseTimer":
         if self._started_at is not None:
             raise RuntimeError(f"phase {self.phase} already started")
         self._started_at = self.sim.now
+        # When a tracer is attached, the phase also becomes a span on the
+        # blackout-phases lane (same numbers as the breakdown, on a timeline).
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            self._span = tracer.begin_span(
+                tracer.lane("migration", "blackout-phases"), self.phase)
         return self
 
     def stop(self) -> float:
@@ -82,4 +89,7 @@ class PhaseTimer:
         duration = self.sim.now - self._started_at
         self.breakdown.add(self.phase, duration)
         self._started_at = None
+        if self._span is not None:
+            self._span.end(seconds=duration)
+            self._span = None
         return duration

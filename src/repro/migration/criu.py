@@ -116,6 +116,13 @@ class CriuEngine:
         self.sim = sim
         self.config = config
 
+    def _trace_span(self, name: str, args: Optional[dict] = None):
+        """Open an observability span on the CRIU lane (None untraced)."""
+        tracer = self.sim.tracer
+        if tracer is None or not tracer.enabled:
+            return None
+        return tracer.begin_span(tracer.lane("migration", "criu"), name, args)
+
     # ------------------------------------------------------------------
     # Cost model
     # ------------------------------------------------------------------
@@ -160,13 +167,21 @@ class CriuEngine:
         """
         image = snapshot_container(container, full=full, now=self.sim.now)
         dump_time = self.dump_pages_time(image)
+        span = self._trace_span("dump-pages",
+                                {"bytes": image.size_bytes, "full": full})
         container.pause_for(self.sim, dump_time)
         yield self.sim.timeout(dump_time)
+        if span is not None:
+            span.end()
         return image
 
     def checkpoint_others(self, container: Container):
         """Generator: dump non-memory task state (the DumpOthers phase)."""
+        span = self._trace_span("dump-others",
+                                {"vmas": self._vma_count(container)})
         yield self.sim.timeout(self.dump_others_time(container))
+        if span is not None:
+            span.end()
 
     def freeze(self, container: Container) -> None:
         container.freeze()
@@ -186,6 +201,8 @@ class CriuEngine:
         working memory and maps the remaining VMAs at temporary addresses.
         """
         plugin = plugin or CriuPlugin()
+        span = self._trace_span("partial-restore",
+                                {"processes": len(session.image.processes)})
         for pimage in session.image.processes:
             process = AppProcess(pimage.name, self.config)
             process.pid = pimage.pid  # restored processes keep their pid
@@ -215,6 +232,8 @@ class CriuEngine:
         # MigrRDMA hook: RDMA pre-setup happens before page restoration.
         yield from plugin.pre_restore(session)
         yield from self.apply_image(session, session.image)
+        if span is not None:
+            span.end()
 
     def _pin_vmas(self, session: RestoreSession, pimage: ProcessImage,
                   pins: List[Tuple[int, int]]) -> Set[int]:
@@ -261,12 +280,19 @@ class CriuEngine:
                     raise RuntimeError(f"restore session lost mapping for {start:#x}")
                 vma.store.install_pages(pages)
                 npages += len(pages)
+        span = self._trace_span("restore-pages",
+                                {"pages": npages, "new_vmas": nvmas})
         yield self.sim.timeout(self.restore_pages_time(npages, nvmas))
+        if span is not None:
+            span.end()
 
     def full_restore(self, session: RestoreSession):
         """Generator: final step — move every temp VMA home and release the
         restorer memory."""
+        span = self._trace_span("full-restore")
         yield self.sim.timeout(self.full_restore_time(session))
+        if span is not None:
+            span.end()
         for pid, process in session.processes.items():
             process.space.munmap(session.restorer_at[pid])
             for (owner_pid, start), mapped in list(session.mapped_at.items()):

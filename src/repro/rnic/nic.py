@@ -254,6 +254,10 @@ class RNIC:
             raise QPStateError(f"QP {qp.qpn:#x} does not belong to {self.name}")
         qp.enqueue_send(wr)
         wr._pays_doorbell = True
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(tracer.lane(self.node.name, "rnic"), "doorbell",
+                           {"qpn": qp.qpn, "wrs": 1})
         self._kicks[qp.qpn].put(True)
 
     def post_send_wrs(self, qp: QP, wrs) -> None:
@@ -275,6 +279,10 @@ class RNIC:
                 posted += 1
         finally:
             if posted:
+                tracer = self.sim.tracer
+                if tracer is not None:
+                    tracer.instant(tracer.lane(self.node.name, "rnic"), "doorbell",
+                                   {"qpn": qp.qpn, "wrs": posted})
                 self._kicks[qp.qpn].put(True)
 
     def post_recv(self, qp: QP, wr: RecvWR) -> None:
@@ -302,17 +310,29 @@ class RNIC:
                 # avoids a wasted wakeup event per already-consumed WR.
                 kick.clear()
                 wr = qp.sq_pending.popleft()
+                tracer = self.sim.tracer
+                span = None
+                if tracer is not None and tracer.enabled:
+                    span = tracer.begin_span(
+                        tracer.lane(self.node.name, f"qp{qp.qpn:#x}"),
+                        wr.opcode.name, {"bytes": wr.total_length})
                 if getattr(wr, "_pays_doorbell", True):
                     yield self.sim.timeout(doorbell_s + per_wqe_s)
                 else:
                     yield self.sim.timeout(per_wqe_s)
                 if qp.state is not QPState.RTS:
                     self._complete_send(qp, wr, qp.next_ssn(), WCStatus.WR_FLUSH_ERR, force=True)
+                    if span is not None:
+                        span.end(status="flush")
                     continue
                 if wr.opcode is Opcode.BIND_MW:
                     self._execute_bind_mw(qp, wr)
+                    if span is not None:
+                        span.end()
                     continue
                 yield from self._transmit(qp, wr)
+                if span is not None:
+                    span.end()
         except Interrupt:
             return
 
@@ -697,6 +717,10 @@ class RNIC:
     def _flush_wc_batch(self, batch: list) -> None:
         if batch is self._wc_batch:
             self._wc_batch = None
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(tracer.lane(self.node.name, "rnic"), "cqe-delivery",
+                           {"n": len(batch)})
         for cq, wc in batch:
             cq.push(wc)
 

@@ -25,6 +25,11 @@ wall-clock optimisations that do not change simulated-time semantics:
 - ``Simulator.events_processed`` counts every executed heap entry; the
   ``benchmarks/test_simperf.py`` harness divides it by wall-clock time to
   track the kernel's events/sec across PRs.
+- ``Simulator.tracer`` (normally ``None``) hooks the run loops into the
+  :mod:`repro.obs` tracing subsystem: with a tracer attached the kernel
+  emits wall-clock dispatch-batch spans and counter samples.  The hook is
+  a single local-bool test per dispatched event when disabled, and tracing
+  never perturbs simulated time.
 """
 
 from __future__ import annotations
@@ -336,6 +341,11 @@ class Simulator:
         #: (name, exception) of processes that died with an unhandled error —
         #: useful for debugging background processes nobody awaits.
         self.failed_processes: List = []
+        #: optional :class:`repro.obs.Tracer`.  ``None`` (the default) keeps
+        #: the kernel loops on their untraced fast path; an attached enabled
+        #: tracer samples wall-clock dispatch batches.  Purely observational:
+        #: it never changes event order, timestamps, or the RNG stream.
+        self.tracer = None
 
     # -- scheduling ------------------------------------------------------
 
@@ -387,6 +397,9 @@ class Simulator:
         self.now = when
         self.events_processed += 1
         callback(*args)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer._kernel_tick(self, callback)
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue drains or simulated time reaches ``until``.
@@ -396,12 +409,16 @@ class Simulator:
         if until is not None and until < self.now:
             raise ValueError(f"until={until} is in the past (now={self.now})")
         heap = self._heap
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
         if until is None:
             while heap:
                 when, _seq, callback, args = heappop(heap)
                 self.now = when
                 self.events_processed += 1
                 callback(*args)
+                if tracing:
+                    tracer._kernel_tick(self, callback)
             return self.now
         while heap:
             if heap[0][0] > until:
@@ -411,6 +428,8 @@ class Simulator:
             self.now = when
             self.events_processed += 1
             callback(*args)
+            if tracing:
+                tracer._kernel_tick(self, callback)
         self.now = until
         return self.now
 
@@ -420,6 +439,8 @@ class Simulator:
         ``limit`` bounds simulated time as a runaway guard.
         """
         heap = self._heap
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
         while not process._triggered:
             if not heap:
                 raise SimulationError(f"deadlock: {process!r} never completed and the event queue drained")
@@ -429,4 +450,6 @@ class Simulator:
             self.now = when
             self.events_processed += 1
             callback(*args)
+            if tracing:
+                tracer._kernel_tick(self, callback)
         return process.value

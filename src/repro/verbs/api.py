@@ -216,6 +216,11 @@ class DirectVerbs(VerbsAPI):
         self.process.cpu.charge_base(_OP_LABEL[wr.opcode])
         if wr.inline and wr.inline_data is None:
             capture_inline(self.process, qp, wr)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(tracer.lane(self.rnic.node.name, "verbs"),
+                           f"post:{_OP_LABEL[wr.opcode]}",
+                           {"qpn": qp.qpn, "bytes": wr.total_length})
         self.rnic.post_send(qp, wr)
 
     def post_send_wrs(self, qp: QP, wrs: List[SendWR]) -> None:
@@ -225,10 +230,18 @@ class DirectVerbs(VerbsAPI):
             cpu.charge_base(_OP_LABEL[wr.opcode])
             if wr.inline and wr.inline_data is None:
                 capture_inline(self.process, qp, wr)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(tracer.lane(self.rnic.node.name, "verbs"),
+                           "post:chain", {"qpn": qp.qpn, "wrs": len(wrs)})
         self.rnic.post_send_wrs(qp, wrs)
 
     def post_recv(self, qp: QP, wr: RecvWR) -> None:
         self.process.cpu.charge_base("recv")
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(tracer.lane(self.rnic.node.name, "verbs"),
+                           "post:recv", {"qpn": qp.qpn})
         self.rnic.post_recv(qp, wr)
 
     def post_srq_recv(self, srq: SRQ, wr: RecvWR) -> None:
@@ -237,7 +250,13 @@ class DirectVerbs(VerbsAPI):
 
     def poll_cq(self, cq: CQ, max_entries: int = 1) -> List[WorkCompletion]:
         self.process.cpu.charge_base("poll")
-        return cq.poll(max_entries)
+        wcs = cq.poll(max_entries)
+        if wcs:
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.instant(tracer.lane(self.rnic.node.name, "verbs"),
+                               "poll", {"cqn": cq.handle, "n": len(wcs)})
+        return wcs
 
     def req_notify_cq(self, cq: CQ) -> None:
         cq.req_notify()

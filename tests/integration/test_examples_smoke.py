@@ -1,0 +1,79 @@
+"""Every ``examples/`` script must run to a clean exit.
+
+The examples are the repo's executable documentation — they rot the moment
+an API they use changes shape.  This smoke test runs each one as a real
+subprocess (the way a reader would), with scaled-down arguments where the
+script supports them, and asserts a zero exit status.  The scripts carry
+their own internal correctness assertions (clean perftest stats, lane
+coverage in the trace example), so "exited 0" is a meaningful check.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+#: script name -> extra argv (scaled-down modes where available).
+EXAMPLES = {
+    "quickstart.py": [],
+    "spotty_network.py": [],
+    "connection_manager.py": [],
+    "virtualization_overhead.py": [],
+    "hadoop_maintenance.py": ["--fast"],
+    "trace_migration.py": ["smoke_trace.json"],
+}
+
+#: Generous per-script ceiling; the slowest example runs well under this.
+TIMEOUT_S = 300
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES), (
+        "examples/ and EXAMPLES disagree — add the new script (with "
+        "scaled-down args if it needs them) to this smoke test")
+
+
+@pytest.mark.parametrize("script", sorted(EXAMPLES))
+def test_example_runs_clean(script, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *EXAMPLES[script]],
+        cwd=tmp_path,  # outputs (trace JSON etc.) land in the tmp dir
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=TIMEOUT_S,
+    )
+    assert proc.returncode == 0, (
+        f"{script} exited {proc.returncode}\n"
+        f"--- stdout ---\n{proc.stdout[-3000:]}\n"
+        f"--- stderr ---\n{proc.stderr[-3000:]}")
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_trace_example_writes_valid_chrome_trace(tmp_path):
+    """The trace example's JSON must be loadable and span >= 5 lanes."""
+    import json
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    out = tmp_path / "trace.json"
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "trace_migration.py"), str(out)],
+        cwd=tmp_path, env=env, capture_output=True, text=True, timeout=TIMEOUT_S)
+    assert proc.returncode == 0, proc.stderr[-3000:]
+    doc = json.loads(out.read_text())
+    events = doc["traceEvents"]
+    pids = {e["pid"] for e in events if e["ph"] == "M" and e["name"] == "process_name"}
+    lanes = {(e["pid"], e["tid"]) for e in events if e["ph"] == "M" and e["name"] == "thread_name"}
+    assert len(lanes) >= 5
+    assert len(pids) >= 3  # nodes + sim-kernel + migration
+    assert any(e["ph"] == "X" for e in events)
+    assert "metrics" in doc["otherData"]

@@ -52,3 +52,31 @@ def test_reference_migration_is_deterministic():
         runs.append((report.blackout_s, scenario.tb.sim.now,
                      scenario.tb.sim.events_processed))
     assert runs[0] == runs[1]
+
+
+def test_tracing_enabled_leaves_simulated_time_bit_identical():
+    """An attached Tracer must be semantically invisible: it never
+    schedules events or draws randomness, so every pinned timestamp stays
+    exactly (==) what the untraced run produces."""
+    from repro.obs import Tracer
+
+    scenario = MigrationScenario(num_qps=16)
+    tracer = Tracer(scenario.tb.sim).attach()
+    report = scenario.run_migration()
+    phases = dict(report.breakdown.ordered())
+
+    assert report.blackout_s == EXPECTED["blackout_s"]
+    assert report.wbs_elapsed_s == EXPECTED["wbs_elapsed_s"]
+    assert phases["DumpRDMA"] == EXPECTED["DumpRDMA"]
+    assert phases["DumpOthers"] == EXPECTED["DumpOthers"]
+    assert phases["Transfer"] == EXPECTED["Transfer"]
+    assert phases["FullRestore"] == EXPECTED["FullRestore"]
+    assert scenario.tb.sim.now == EXPECTED["final_now"]
+
+    # And it actually recorded the migration: every instrumented layer
+    # contributed at least one lane.
+    processes = {lane.process for lane in tracer.lanes()}
+    assert Tracer.KERNEL_PROCESS in processes
+    assert "migration" in processes
+    assert len(tracer.lanes()) >= 5
+    assert tracer.span_count() > 0

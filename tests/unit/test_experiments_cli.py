@@ -23,7 +23,7 @@ class TestCli:
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for name in ("fig3", "fig4", "fig5", "table4", "fig6", "migros"):
+        for name in ("fig3", "fig4", "fig5", "table4", "fig6", "migros", "trace"):
             assert name in out
 
     def test_fig3_small(self, capsys):
@@ -38,6 +38,18 @@ class TestCli:
         out = capsys.readouterr().out
         assert "slowdown" in out
         assert "x" in out
+
+    def test_trace_small(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "trace.json"
+        assert main(["trace", "--qps", "2", "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "lanes:" in out
+        assert "perfetto" in out
+        doc = json.loads(out_file.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+        assert doc["otherData"]["metrics"]["sim.events_processed"] > 0
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

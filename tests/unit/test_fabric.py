@@ -79,6 +79,29 @@ class TestNetwork:
         with pytest.raises(ValueError):
             net.node("b").register_handler("p", lambda m: None)
 
+    def test_unregister_handler(self, sim, net):
+        node = net.node("b")
+        node.register_handler("p", lambda m: None)
+        node.unregister_handler("p")
+        # gone: delivery fails, and the protocol can be registered again
+        net.node("a").send(Message("a", "b", "p", 10))
+        with pytest.raises(LookupError):
+            sim.run()
+        node.register_handler("p", lambda m: None)
+
+    def test_unregister_missing_handler_raises(self, sim, net):
+        """Symmetric with register_handler's duplicate check: removing a
+        handler that was never registered is an error, not a silent pass."""
+        with pytest.raises(LookupError):
+            net.node("b").unregister_handler("never-registered")
+
+    def test_unregister_missing_ok(self, sim, net):
+        net.node("b").unregister_handler("never-registered", missing_ok=True)
+        node = net.node("b")
+        node.register_handler("p", lambda m: None)
+        node.unregister_handler("p", missing_ok=True)
+        node.unregister_handler("p", missing_ok=True)  # idempotent
+
     def test_loss_drops_messages(self, sim, net):
         net.set_loss_rate(0.999)
         received = []
@@ -164,6 +187,11 @@ class TestTcpChannel:
         channel = TcpChannel(net, "a", "b")
         channel.close()
         TcpChannel(net, "a", "b")  # re-registering must not raise
+
+    def test_double_close_is_idempotent(self, sim, net):
+        channel = TcpChannel(net, "a", "b")
+        channel.close()
+        channel.close()  # teardown paths may race; must not raise
 
     def test_estimate_close_to_actual(self, sim, net):
         channel = TcpChannel(net, "a", "b", rate_bps=40e9)
