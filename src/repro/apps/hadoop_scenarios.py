@@ -47,8 +47,15 @@ class ScenarioOutcome:
 
 
 def run_scenario(task_type: str, scenario: str, config: Optional[Config] = None,
-                 event_after_s: float = 3.0, limit_s: float = 1200.0) -> ScenarioOutcome:
-    """Build a fresh Hadoop cluster and run one (task, scenario) cell."""
+                 event_after_s: float = 3.0, limit_s: float = 1200.0,
+                 chaos_plan=None) -> ScenarioOutcome:
+    """Build a fresh Hadoop cluster and run one (task, scenario) cell.
+
+    ``chaos_plan`` (a :class:`repro.chaos.FaultPlan`) installs fault
+    injection on the freshly-built testbed and is armed on the migration;
+    with a plan present, background process failures are left for the
+    chaos invariant checkers instead of raising here.
+    """
     if scenario not in SCENARIOS:
         raise ValueError(f"unknown scenario {scenario!r}")
     if task_type not in ("dfsio", "estimatepi"):
@@ -56,6 +63,8 @@ def run_scenario(task_type: str, scenario: str, config: Optional[Config] = None,
 
     tb = cluster.build(config=config, num_partners=2)
     world = MigrRdmaWorld(tb)
+    if chaos_plan is not None:
+        chaos_plan.install(tb)
     hadoop = HadoopCluster(tb, world)
     cfg = tb.config.hadoop
     outcome = ScenarioOutcome(scenario=scenario, task_type=task_type,
@@ -72,6 +81,8 @@ def run_scenario(task_type: str, scenario: str, config: Optional[Config] = None,
         if scenario == "migrrdma":
             yield tb.sim.timeout(event_after_s)
             migration = LiveMigration(world, hadoop.slave.container, tb.destination)
+            if chaos_plan is not None:
+                chaos_plan.arm(migration)
             outcome.migration_report = yield from migration.run()
         elif scenario == "failover":
             monitor = FailoverManager(hadoop, tb.destination)
@@ -87,7 +98,7 @@ def run_scenario(task_type: str, scenario: str, config: Optional[Config] = None,
         return result
 
     tb.run(flow(), limit=limit_s)
-    if tb.sim.failed_processes:
+    if tb.sim.failed_processes and chaos_plan is None:
         raise RuntimeError(f"background failures: {tb.sim.failed_processes[:3]}")
     return outcome
 

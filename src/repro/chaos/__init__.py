@@ -1,0 +1,46 @@
+"""repro.chaos: deterministic fault injection + migration torture harness.
+
+Three pieces:
+
+- :class:`FaultPlan` (:mod:`repro.chaos.plan`) — a seeded, declarative
+  fault set installable on a testbed: fabric drop/duplicate/reorder/delay
+  scoped per link/protocol/time window, RNIC-level RNR storms, CQ
+  pressure and QP→ERR events, and migration aborts at named phase
+  boundaries,
+- the invariant checkers (:mod:`repro.chaos.invariants`) — run after a
+  fault run, they prove no CQE was lost or duplicated, per-QP WR order
+  held, translation tables stayed bijective, the WBS fake CQs drained,
+  and blackout accounting stayed consistent,
+- the torture harness (:mod:`repro.chaos.torture`) — fuzzes
+  (workload, fault plan, trigger time) tuples and shrinks failures to a
+  pasteable pytest reproducer; exposed as
+  ``python -m repro.experiments torture``.
+"""
+
+from repro.chaos.invariants import (
+    DEFAULT_REGISTRY,
+    InvariantContext,
+    InvariantReport,
+    InvariantRegistry,
+)
+from repro.chaos.plan import (
+    CqPressure,
+    FaultPlan,
+    FaultRule,
+    FaultStats,
+    QpErrorEvent,
+    RnrStorm,
+)
+from repro.chaos.torture import TortureCase, run_case, sample_case
+from repro.chaos.torture import torture as run_torture
+
+# Re-bind the submodule: the function import above would otherwise shadow
+# ``repro.chaos.torture`` for ``import repro.chaos.torture as t`` users.
+from repro.chaos import torture  # noqa: E402  isort:skip
+
+__all__ = [
+    "CqPressure", "DEFAULT_REGISTRY", "FaultPlan", "FaultRule", "FaultStats",
+    "InvariantContext", "InvariantReport", "InvariantRegistry",
+    "QpErrorEvent", "RnrStorm", "TortureCase", "run_case", "run_torture",
+    "sample_case",
+]

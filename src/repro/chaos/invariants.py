@@ -1,0 +1,269 @@
+"""Protocol invariants validated after every fault run.
+
+Each checker inspects one correctness property the paper claims survives
+adversity, and yields human-readable violation strings (nothing = pass):
+
+- ``cqe-conservation`` — no completion lost or invented: every posted
+  send eventually produced exactly one observed CQE (§5.3's loss check),
+  and in SEND mode the receiver consumed exactly as many messages as the
+  sender completed,
+- ``wr-ordering`` — per-QP completion order preserved, payloads intact
+  (§5.3's order/content checks),
+- ``completion-status`` — no error-status completions unless the plan
+  injected QP→ERR faults (which legitimately flush),
+- ``translation-bijective`` — the indirection layer's QPN table and each
+  guest lib's lkey table remain injective: no two virtual resources ever
+  share one physical identity (§3.2's table discipline),
+- ``wbs-drained`` — wait-before-stop left nothing behind: fake CQs fully
+  consumed, no outstanding CQ events (§3.4),
+- ``blackout-accounting`` — MigrationReport timestamps monotonic, phase
+  durations non-negative and summing within the blackout window, WBS
+  wall/thread times consistent (§5.2's measurement integrity),
+- ``sim-health`` — no simulator process died with an exception,
+- ``fabric-accounting`` — every dropped message is accounted to exactly
+  one cause (legacy loss or the fault plan).
+
+The context scrapes the whole stack into a
+:class:`~repro.obs.metrics.MetricsRegistry` first, so checkers read the
+same numbers an operator would, and the snapshot doubles as the
+determinism digest of the run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Tuple
+
+__all__ = ["InvariantContext", "InvariantReport", "InvariantRegistry",
+           "DEFAULT_REGISTRY"]
+
+Checker = Callable[["InvariantContext"], Iterable[str]]
+
+
+class InvariantContext:
+    """Everything a checker may inspect about one finished fault run."""
+
+    def __init__(self, tb, world=None, endpoints=(), pairs=(), reports=(),
+                 plan=None, workload_errors=(), extra_metrics=None):
+        from repro.obs import MetricsRegistry
+
+        self.tb = tb
+        self.world = world
+        self.endpoints = list(endpoints)
+        #: (sender, receiver) endpoint pairs for cross-endpoint accounting
+        self.pairs = list(pairs)
+        self.reports = list(reports)
+        self.plan = plan
+        #: scenario-level failures the harness itself observed
+        self.workload_errors = list(workload_errors)
+        self.metrics = extra_metrics or MetricsRegistry()
+        self.metrics.scrape_testbed(tb, world)
+        if plan is not None:
+            self.metrics.scrape_chaos(plan)
+        self.snapshot = self.metrics.snapshot()
+
+    @property
+    def expects_status_errors(self) -> bool:
+        return self.plan is not None and self.plan.expects_status_errors
+
+
+@dataclass
+class InvariantReport:
+    """The outcome of one registry run."""
+
+    checked: List[str] = field(default_factory=list)
+    violations: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        lines = []
+        failed = {name for name, _ in self.violations}
+        for name in self.checked:
+            lines.append(f"{'VIOLATION' if name in failed else 'ok':>9}  {name}")
+        for name, message in self.violations:
+            lines.append(f"           {name}: {message}")
+        return "\n".join(lines)
+
+    def digest_input(self) -> str:
+        return "\n".join(self.checked
+                         + [f"{n}:{m}" for n, m in self.violations])
+
+
+class InvariantRegistry:
+    """Ordered, extensible set of named checkers."""
+
+    def __init__(self):
+        self._checkers: List[Tuple[str, Checker]] = []
+
+    def register(self, name: str):
+        def decorate(fn: Checker) -> Checker:
+            if any(existing == name for existing, _ in self._checkers):
+                raise ValueError(f"invariant checker {name!r} already registered")
+            self._checkers.append((name, fn))
+            return fn
+        return decorate
+
+    def names(self) -> List[str]:
+        return [name for name, _ in self._checkers]
+
+    def run(self, ctx: InvariantContext) -> InvariantReport:
+        report = InvariantReport()
+        for name, checker in self._checkers:
+            report.checked.append(name)
+            try:
+                for violation in checker(ctx) or ():
+                    report.violations.append((name, violation))
+            except Exception as exc:  # a crashed checker is itself a failure
+                report.violations.append((name, f"checker crashed: {exc!r}"))
+        return report
+
+
+DEFAULT_REGISTRY = InvariantRegistry()
+
+
+@DEFAULT_REGISTRY.register("cqe-conservation")
+def _check_cqe_conservation(ctx):
+    for ep in ctx.endpoints:
+        if not getattr(ep, "_sender_active", False):
+            continue
+        for conn in ep.connections:
+            if conn.outstanding != 0:
+                yield (f"{ep.name} qp#{conn.index}: {conn.outstanding} posted "
+                       f"WRs never produced a completion (CQEs lost)")
+            if conn.completed != conn.next_seq:
+                yield (f"{ep.name} qp#{conn.index}: posted {conn.next_seq} "
+                       f"sends but observed {conn.completed} completions")
+            if conn.expect_send_seq != conn.next_seq:
+                yield (f"{ep.name} qp#{conn.index}: completion sequence ended "
+                       f"at {conn.expect_send_seq}, expected {conn.next_seq} "
+                       f"(duplicated or skipped CQE)")
+    for sender, receiver in ctx.pairs:
+        if sender.mode != "send":
+            continue
+        if receiver.stats.recv_completed != sender.stats.completed:
+            yield (f"{receiver.name} consumed {receiver.stats.recv_completed} "
+                   f"messages but {sender.name} completed "
+                   f"{sender.stats.completed} sends")
+
+
+@DEFAULT_REGISTRY.register("wr-ordering")
+def _check_wr_ordering(ctx):
+    for ep in ctx.endpoints:
+        for err in ep.stats.order_errors[:5]:
+            yield f"{ep.name}: {err}"
+        for err in ep.stats.content_errors[:5]:
+            yield f"{ep.name}: {err}"
+
+
+@DEFAULT_REGISTRY.register("completion-status")
+def _check_completion_status(ctx):
+    if ctx.expects_status_errors:
+        return
+    for ep in ctx.endpoints:
+        for err in ep.stats.status_errors[:5]:
+            yield f"{ep.name}: {err}"
+
+
+@DEFAULT_REGISTRY.register("translation-bijective")
+def _check_translation_bijective(ctx):
+    if ctx.world is None:
+        return
+    for server_name in (s.name for s in ctx.tb.servers):
+        layer = ctx.world.layer(server_name)
+        virtuals = [v for _p, v in layer.qpn_table.entries()]
+        if len(virtuals) != len(set(virtuals)):
+            dupes = sorted({v for v in virtuals if virtuals.count(v) > 1})
+            yield (f"{server_name}: QPN table maps multiple physical QPNs to "
+                   f"virtual {', '.join(hex(v) for v in dupes)}")
+    for lib in ctx.world.all_libs():
+        physical = [p for p in lib.state.lkey_table._physical if p is not None]
+        if len(physical) != len(set(physical)):
+            yield (f"pid{lib.process.pid}: lkey table aliases one physical "
+                   f"lkey under multiple virtual keys")
+
+
+@DEFAULT_REGISTRY.register("wbs-drained")
+def _check_wbs_drained(ctx):
+    if ctx.world is None:
+        return
+    for lib in ctx.world.all_libs():
+        for vcq in lib.virt_cqs:
+            if vcq.fake:
+                yield (f"pid{lib.process.pid}: {len(vcq.fake)} fake-CQ "
+                       f"entries were never consumed after restore")
+        if lib.unfinished_cq_events:
+            yield (f"pid{lib.process.pid}: {lib.unfinished_cq_events} CQ "
+                   f"events still outstanding")
+
+
+@DEFAULT_REGISTRY.register("blackout-accounting")
+def _check_blackout_accounting(ctx):
+    eps = 1e-9
+    for i, report in enumerate(ctx.reports):
+        tag = f"migration#{i}"
+        if report.aborted:
+            if report.t_suspend != 0.0:
+                yield f"{tag}: aborted migration entered wait-before-stop"
+            continue
+        marks = [("t_start", report.t_start),
+                 ("t_presetup_done", report.t_presetup_done),
+                 ("t_suspend", report.t_suspend),
+                 ("t_freeze", report.t_freeze),
+                 ("t_resume", report.t_resume),
+                 ("t_end", report.t_end)]
+        for (a_name, a), (b_name, b) in zip(marks, marks[1:]):
+            if b < a - eps:
+                yield f"{tag}: {b_name}={b} precedes {a_name}={a}"
+        phases = dict(report.breakdown.ordered())
+        for name, duration in phases.items():
+            if duration < 0:
+                yield f"{tag}: phase {name} has negative duration {duration}"
+        if sum(phases.values()) > report.blackout_s + eps:
+            yield (f"{tag}: phase sum {sum(phases.values())} exceeds "
+                   f"blackout {report.blackout_s}")
+        if abs(report.wbs_wall_s - (report.t_freeze - report.t_suspend)) > eps:
+            yield (f"{tag}: wbs_wall_s={report.wbs_wall_s} disagrees with "
+                   f"t_freeze-t_suspend={report.t_freeze - report.t_suspend}")
+        if report.wbs_elapsed_s > report.wbs_wall_s + eps:
+            yield (f"{tag}: per-thread WBS time {report.wbs_elapsed_s} "
+                   f"exceeds the WBS wall window {report.wbs_wall_s}")
+        if report.blackout_s > report.communication_blackout_s + eps:
+            yield f"{tag}: service blackout exceeds communication blackout"
+
+
+@DEFAULT_REGISTRY.register("sim-health")
+def _check_sim_health(ctx):
+    for process in ctx.tb.sim.failed_processes[:5]:
+        yield f"simulator process failed: {process!r}"
+    for error in ctx.workload_errors:
+        yield error
+
+
+@DEFAULT_REGISTRY.register("fabric-accounting")
+def _check_fabric_accounting(ctx):
+    network = ctx.tb.network
+    if ctx.plan is None or network.loss_rate:
+        return
+    if network.messages_dropped != ctx.plan.stats.fabric_dropped:
+        yield (f"network dropped {network.messages_dropped} messages but the "
+               f"fault plan accounts for {ctx.plan.stats.fabric_dropped}")
+
+
+def run_digest(ctx: InvariantContext, report: InvariantReport) -> str:
+    """Deterministic digest of the run: the full metrics snapshot plus the
+    invariant report.  Two runs with the same seed must agree exactly."""
+    parts = [f"{name}={value!r}" for name, value in sorted(ctx.snapshot.items())]
+    parts.append(report.digest_input())
+    for i, mreport in enumerate(ctx.reports):
+        parts.append(f"report{i}="
+                     f"{mreport.t_start!r},{mreport.t_suspend!r},"
+                     f"{mreport.t_freeze!r},{mreport.t_resume!r},"
+                     f"{mreport.t_end!r},{mreport.wbs_elapsed_s!r},"
+                     f"{mreport.aborted}")
+    if ctx.plan is not None:
+        parts.append(",".join(ctx.plan.boundaries_seen))
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()

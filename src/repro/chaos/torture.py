@@ -1,0 +1,370 @@
+"""The migration torture harness.
+
+Fuzzes (workload, fault plan, migration trigger time) tuples over the
+perftest and Hadoop reference scenarios, runs every invariant checker
+after each one, and shrinks a failing case to the smallest fault set that
+still fails — printed as a ready-to-paste pytest reproducer.
+
+Everything is derived from ``(seed, index)`` through dedicated
+``random.Random`` instances, so a failing run number reproduces exactly
+(`python -m repro.experiments torture --seed N --runs K`), and the same
+seed yields a bit-identical metrics digest on every machine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+from repro import cluster
+from repro.apps.perftest import PerftestEndpoint, connect_endpoints
+from repro.chaos.invariants import (
+    DEFAULT_REGISTRY,
+    InvariantContext,
+    InvariantReport,
+    run_digest,
+)
+from repro.chaos.plan import FaultPlan
+from repro.core import LiveMigration, MigrRdmaWorld
+
+__all__ = ["TortureCase", "TortureOutcome", "sample_case", "build_plan",
+           "run_case", "shrink", "reproducer_source", "torture"]
+
+#: sim-time budget for the post-run drain of in-flight completions
+QUIESCE_TIMEOUT_S = 1.0
+QUIESCE_POLL_S = 200e-6
+
+#: how often a torture sweep visits the Hadoop scenario instead of perftest
+HADOOP_EVERY = 6
+
+
+@dataclass
+class TortureCase:
+    """One reproducible fuzz case — plain data, printable as a test."""
+
+    seed: int
+    index: int
+    scenario: str = "perftest"
+    workload: Dict[str, object] = field(default_factory=dict)
+    #: fault specs, each a dict with a ``kind`` key (see ``_apply_fault``)
+    faults: List[Dict[str, object]] = field(default_factory=list)
+    trigger_s: float = 2e-3
+
+    @property
+    def plan_seed(self) -> int:
+        return self.seed * 1_000_003 + self.index
+
+
+@dataclass
+class TortureOutcome:
+    case: TortureCase
+    report: InvariantReport
+    digest: str
+    sim_now: float
+    events_processed: int
+    fault_stats: Dict[str, int]
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+
+# ---------------------------------------------------------------------------
+# case sampling
+# ---------------------------------------------------------------------------
+
+def _case_rng(seed: int, index: int) -> random.Random:
+    # str seeding hashes through sha512: stable across processes/platforms.
+    return random.Random(f"torture:{seed}:{index}")
+
+
+def sample_case(seed: int, index: int, scenarios: str = "all") -> TortureCase:
+    """Draw one (workload, fault plan, trigger time) tuple."""
+    rng = _case_rng(seed, index)
+    hadoop = (scenarios in ("all", "hadoop")
+              and (scenarios == "hadoop" or index % HADOOP_EVERY == HADOOP_EVERY - 1))
+    if hadoop:
+        workload = {"task": rng.choice(["dfsio", "estimatepi"])}
+        trigger_s = rng.uniform(0.02, 0.2)
+        faults = _sample_faults(rng, nodes=["src", "dst", "partner0", "partner1"],
+                                window_hi=1.5, fabric_only=True)
+        return TortureCase(seed, index, "hadoop", workload, faults, trigger_s)
+    workload = {
+        "qps": rng.choice([1, 2, 4]),
+        "msg_size": rng.choice([16384, 65536, 65536, 262144]),
+        "depth": rng.choice([4, 8]),
+        "mode": rng.choice(["write", "write", "send", "read"]),
+        "migrate": rng.choice(["sender", "receiver"]),
+        "presetup": rng.choice([True, True, False]),
+    }
+    trigger_s = rng.uniform(0.5e-3, 3e-3)
+    faults = _sample_faults(rng, nodes=["src", "dst", "partner0"], window_hi=0.12)
+    return TortureCase(seed, index, "perftest", workload, faults, trigger_s)
+
+
+def _sample_faults(rng: random.Random, nodes: List[str], window_hi: float,
+                   fabric_only: bool = False) -> List[Dict[str, object]]:
+    def window():
+        start = rng.uniform(0.0, window_hi * 0.7)
+        return start, start + rng.uniform(window_hi * 0.05, window_hi)
+
+    palette = ["drop_rdma", "drop_tcp", "duplicate", "reorder", "delay", "abort"]
+    if not fabric_only:
+        palette += ["rnr_storm", "cq_pressure"]
+    faults: List[Dict[str, object]] = []
+    for kind in rng.sample(palette, k=rng.randint(1, 3)):
+        start, end = window()
+        if kind == "drop_rdma":
+            # Capped inside the RC transport's recoverable envelope: the
+            # requester gives up (RETRY_EXC_ERR, QP to error) after 8
+            # retries, and a read needs request AND response delivered, so
+            # p=0.05 leaves ~(2p)^9 ~ 1e-9 odds per WR of legitimate
+            # exhaustion.  Higher sustained rates make give-up expected
+            # behaviour, not an invariant violation.
+            faults.append({"kind": "drop", "p": round(rng.uniform(0.01, 0.05), 4),
+                           "protocol": "rdma", "start_s": start, "end_s": end})
+        elif kind == "drop_tcp":
+            faults.append({"kind": "drop", "p": round(rng.uniform(0.05, 0.3), 4),
+                           "protocol": "tcp", "start_s": start, "end_s": end})
+        elif kind == "duplicate":
+            faults.append({"kind": "duplicate", "p": round(rng.uniform(0.01, 0.1), 4),
+                           "protocol": "rdma", "start_s": start, "end_s": end})
+        elif kind == "reorder":
+            faults.append({"kind": "reorder", "p": round(rng.uniform(0.01, 0.15), 4),
+                           "max_delay_s": round(rng.uniform(5e-6, 100e-6), 9),
+                           "protocol": "rdma", "start_s": start, "end_s": end})
+        elif kind == "delay":
+            faults.append({"kind": "delay", "delay_s": round(rng.uniform(1e-6, 2e-5), 9),
+                           "protocol": "rdma", "start_s": start, "end_s": end})
+        elif kind == "rnr_storm":
+            faults.append({"kind": "rnr_storm", "node": rng.choice(nodes),
+                           "start_s": start,
+                           "duration_s": round(rng.uniform(1e-3, 2e-2), 6)})
+        elif kind == "cq_pressure":
+            faults.append({"kind": "cq_pressure", "node": rng.choice(nodes),
+                           "start_s": start, "duration_s": end - start,
+                           "extra_delay_s": round(rng.uniform(1e-5, 2e-4), 9)})
+        elif kind == "abort" and rng.random() < 0.4:
+            from repro.core.orchestrator import PHASE_BOUNDARIES
+
+            faults.append({"kind": "abort",
+                           "boundary": rng.choice(PHASE_BOUNDARIES)})
+    return faults
+
+
+def build_plan(case: TortureCase, offset_s: float = 0.0) -> FaultPlan:
+    """Materialize a case's fault specs (windows shifted by ``offset_s``,
+    the sim time at which the workload finished setting up)."""
+    plan = FaultPlan(seed=case.plan_seed,
+                     name=f"torture-{case.seed}-{case.index}")
+    for spec in case.faults:
+        _apply_fault(plan, dict(spec), offset_s)
+    return plan
+
+
+def _apply_fault(plan: FaultPlan, spec: Dict[str, object], offset_s: float) -> None:
+    kind = spec.pop("kind")
+    for key in ("start_s", "end_s", "at_s"):
+        if key in spec:
+            spec[key] = spec[key] + offset_s
+    if kind == "drop":
+        plan.drop(spec.pop("p"), **spec)
+    elif kind == "duplicate":
+        plan.duplicate(spec.pop("p"), **spec)
+    elif kind == "reorder":
+        plan.reorder(spec.pop("p"), **spec)
+    elif kind == "delay":
+        plan.delay(spec.pop("delay_s"), **spec)
+    elif kind == "rnr_storm":
+        plan.rnr_storm(spec["node"], spec["start_s"], spec["duration_s"])
+    elif kind == "cq_pressure":
+        plan.cq_pressure(spec["node"], spec["start_s"], spec["duration_s"],
+                         spec["extra_delay_s"])
+    elif kind == "qp_error":
+        plan.qp_error(spec["node"], spec["at_s"])
+    elif kind == "abort":
+        plan.abort_at(spec["boundary"])
+    else:
+        raise ValueError(f"unknown fault kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# running a case
+# ---------------------------------------------------------------------------
+
+def quiesce(tb, endpoints, timeout_s: float = QUIESCE_TIMEOUT_S):
+    """Generator: stop traffic and drain every in-flight completion.
+
+    The perftest loops exit without a final drain, so lost CQEs would be
+    invisible without this step: a sender connection whose ``outstanding``
+    never reaches zero here is exactly a conservation violation.
+
+    Senders are stopped first and receivers keep consuming (and reposting
+    RECVs) until the senders drain — stopping both at once would leave the
+    last in-flight SENDs without a RECV to land in, an RNR retry loop that
+    never resolves (rnr_retry=7 retries forever) and a false conservation
+    violation.
+    """
+    for ep in endpoints:
+        if ep._sender_active:
+            ep.stop()
+    deadline = tb.sim.now + timeout_s
+    drained = False
+    while True:
+        for ep in endpoints:
+            ep._drain_completions()
+        if all(conn.outstanding == 0
+               for ep in endpoints if ep._sender_active
+               for conn in ep.connections):
+            drained = True
+            break
+        if tb.sim.now >= deadline:
+            break
+        yield tb.sim.timeout(QUIESCE_POLL_S)
+    # The final ACKed send's receive-side CQE may still be in flight; let
+    # it land while the receivers are live, then stop them too.
+    yield tb.sim.timeout(QUIESCE_POLL_S)
+    for ep in endpoints:
+        ep.stop()
+    for ep in endpoints:
+        ep._drain_completions()
+    return drained
+
+
+def run_case(case: TortureCase) -> TortureOutcome:
+    if case.scenario == "hadoop":
+        ctx = _run_hadoop_case(case)
+    else:
+        ctx = _run_perftest_case(case)
+    report = DEFAULT_REGISTRY.run(ctx)
+    return TortureOutcome(
+        case=case, report=report, digest=run_digest(ctx, report),
+        sim_now=ctx.tb.sim.now, events_processed=ctx.tb.sim.events_processed,
+        fault_stats=ctx.plan.stats.as_dict() if ctx.plan else {})
+
+
+def _run_perftest_case(case: TortureCase) -> InvariantContext:
+    w = case.workload
+    tb = cluster.build(num_partners=1)
+    world = MigrRdmaWorld(tb)
+    kwargs = dict(world=world, mode=w["mode"], msg_size=w["msg_size"],
+                  depth=w["depth"],
+                  verify_content=w["mode"] in ("write", "send"))
+    sender = PerftestEndpoint(tb.source if w["migrate"] == "sender"
+                              else tb.partners[0], name="tx", **kwargs)
+    receiver = PerftestEndpoint(tb.partners[0] if w["migrate"] == "sender"
+                                else tb.source, name="rx", **kwargs)
+    mover = sender if w["migrate"] == "sender" else receiver
+
+    def setup():
+        yield from sender.setup(qp_budget=w["qps"])
+        yield from receiver.setup(qp_budget=w["qps"])
+        yield from connect_endpoints(sender, receiver, qp_count=w["qps"])
+
+    tb.run(setup())
+    plan = build_plan(case, offset_s=tb.sim.now)
+    plan.install(tb)
+    if w["mode"] == "send":
+        receiver.start_as_receiver()
+    sender.start_as_sender()
+    reports = []
+
+    def flow():
+        yield tb.sim.timeout(case.trigger_s)
+        migration = LiveMigration(world, mover.container, tb.destination,
+                                  presetup=w["presetup"])
+        plan.arm(migration)
+        reports.append((yield from migration.run()))
+        yield tb.sim.timeout(3e-3)
+        yield from quiesce(tb, [sender, receiver])
+
+    tb.run(flow(), limit=600.0)
+    return InvariantContext(tb, world=world, endpoints=[sender, receiver],
+                            pairs=[(sender, receiver)], reports=reports,
+                            plan=plan)
+
+
+def _run_hadoop_case(case: TortureCase) -> InvariantContext:
+    from repro.apps.hadoop_scenarios import fast_test_config, run_scenario
+
+    plan = build_plan(case)
+    outcome = run_scenario(case.workload["task"], "migrrdma",
+                           config=fast_test_config(),
+                           event_after_s=case.trigger_s, chaos_plan=plan)
+    tb = plan.testbed
+    reports = ([outcome.migration_report]
+               if outcome.migration_report is not None else [])
+    errors = [] if outcome.result.finished else ["hadoop task never finished"]
+    return InvariantContext(tb, world=None, endpoints=[], reports=reports,
+                            plan=plan, workload_errors=errors)
+
+
+# ---------------------------------------------------------------------------
+# shrinking + reproducer
+# ---------------------------------------------------------------------------
+
+def shrink(case: TortureCase,
+           run: Callable[[TortureCase], TortureOutcome] = run_case,
+           log: Optional[Callable[[str], None]] = None) -> TortureCase:
+    """Greedy fault-set minimization: repeatedly drop any fault whose
+    removal keeps the case failing.  The workload and trigger are part of
+    the case identity and are kept."""
+    best = case
+    changed = True
+    while changed and best.faults:
+        changed = False
+        for i in range(len(best.faults)):
+            candidate = replace(
+                best, faults=best.faults[:i] + best.faults[i + 1:])
+            if not run(candidate).ok:
+                if log:
+                    log(f"shrink: removed {best.faults[i].get('kind')} "
+                        f"({len(candidate.faults)} faults left)")
+                best = candidate
+                changed = True
+                break
+    return best
+
+
+def reproducer_source(case: TortureCase) -> str:
+    """A ready-to-paste pytest case reproducing this failure."""
+    return f'''\
+def test_torture_seed{case.seed}_run{case.index}():
+    """Shrunk reproducer from `repro.experiments torture --seed {case.seed}`."""
+    from repro.chaos.torture import TortureCase, run_case
+
+    case = TortureCase(
+        seed={case.seed}, index={case.index}, scenario={case.scenario!r},
+        workload={case.workload!r},
+        faults={case.faults!r},
+        trigger_s={case.trigger_s!r})
+    outcome = run_case(case)
+    assert outcome.report.ok, "\\n" + outcome.report.render()
+'''
+
+
+# ---------------------------------------------------------------------------
+# the sweep
+# ---------------------------------------------------------------------------
+
+def torture(seed: int, runs: int, scenarios: str = "all",
+            shrink_failures: bool = True,
+            log: Callable[[str], None] = print) -> List[TortureOutcome]:
+    """Run the sweep; returns the failing outcomes (empty = all clean)."""
+    failures: List[TortureOutcome] = []
+    for index in range(runs):
+        case = sample_case(seed, index, scenarios)
+        outcome = run_case(case)
+        summary = (f"run {index:>3}/{runs}: {case.scenario:<8} "
+                   f"faults={','.join(f['kind'] for f in case.faults) or 'none'} "
+                   f"events={outcome.events_processed} "
+                   f"{'ok' if outcome.ok else 'FAIL'}")
+        log(summary)
+        if not outcome.ok:
+            failures.append(outcome)
+            log(outcome.report.render())
+            if shrink_failures:
+                shrunk = shrink(case, log=log)
+                log("minimal reproducer:\n" + reproducer_source(shrunk))
+    return failures

@@ -177,6 +177,12 @@ class Testbed:
     """
 
     def __init__(self, config: Optional[Config] = None, num_partners: int = 1):
+        # Restart the PID stream per testbed: pids name metrics and seed
+        # per-process CPU jitter (config.seed ^ pid), so leaking the
+        # counter across testbeds would make the second run of an
+        # identical scenario in one interpreter observably different.
+        global _pids
+        _pids = itertools.count(1000)
         self.config = config or default_config()
         self.sim = Simulator()
         self.network = Network(self.sim, self.config)

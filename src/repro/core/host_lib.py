@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.cluster import AppProcess
 from repro.core.indirection import IndirectionLayer, ProcessRdmaState
 from repro.core.records import ResourceRecord
-from repro.rnic import QPState, QPType
+from repro.rnic import QPState, QPStateError, QPType
 from repro.rnic.mr import MemoryWindow
 
 
@@ -178,9 +178,17 @@ class HostLib:
         newly created QP (the dest half of the pre-setup exchange)."""
         qp = plan.resources[rid]
         record = plan.state.log.get(rid)
-        yield from self.rnic.modify_qp(qp, QPState.INIT)
-        yield from self.rnic.modify_qp(qp, QPState.RTR, partner_node, new_partner_pqpn)
-        yield from self.rnic.modify_qp(qp, QPState.RTS)
+        try:
+            yield from self.rnic.modify_qp(qp, QPState.INIT)
+            yield from self.rnic.modify_qp(qp, QPState.RTR, partner_node, new_partner_pqpn)
+            yield from self.rnic.modify_qp(qp, QPState.RTS)
+        except QPStateError:
+            if qp.destroyed:
+                # An aborted migration rolled the pre-setup back while this
+                # connect was between verbs calls; the real tool sees the
+                # same thing as a failed ibv_modify_qp and drops the QP.
+                return
+            raise
         record.args["conn"].remote_pqpn = new_partner_pqpn
         plan.connected.add(rid)
 

@@ -31,6 +31,26 @@ from repro.migration import CriuEngine, Runc
 #: Poll interval for cross-server status checks during migration.
 STATUS_POLL_S = 50e-6
 
+#: Named points in the migration workflow, in execution order.  Fault
+#: plans (repro.chaos) key abort/crash injection on these names; the
+#: first four precede wait-before-stop, so aborting there rolls back,
+#: while aborts from "wbs-entered" on are ignored — the migration is
+#: committed (see :meth:`LiveMigration.abort`).
+PHASE_BOUNDARIES = (
+    "precopy-dumped",    # initial RDMA+memory pre-dump shipped
+    "partial-restored",  # destination holds the partial restore + pre-setup
+    "precopy-iterated",  # iterative dirty-page shipping converged
+    "presetup-done",     # partners + destination confirmed pre-setup
+    "wbs-entered",       # communication suspended, WBS draining
+    "wbs-drained",       # every involved lib finished wait-before-stop
+    "frozen",            # container frozen, incomplete WRs captured
+    "rdma-dumped",       # DumpRDMA phase finished
+    "others-dumped",     # DumpOthers phase finished
+    "transferred",       # final image on the destination
+    "restored",          # full restore + partner switchover finished
+    "resumed",           # apps running on the destination
+)
+
 
 @dataclass
 class MigrationReport:
@@ -91,6 +111,8 @@ class LiveMigration:
         self.runc = Runc(self.engine, self.plugin)
         self.report = MigrationReport(presetup=presetup)
         self._abort_requested = False
+        #: Optional fault plan (repro.chaos) notified at each boundary.
+        self.chaos = None
 
     def abort(self) -> None:
         """Cancel the migration.  Honoured until wait-before-stop begins;
@@ -105,6 +127,14 @@ class LiveMigration:
 
     def _trace_lane(self, tracer):
         return tracer.lane("migration", "workflow")
+
+    def _boundary(self, name: str) -> None:
+        """Synchronous notification hook at a named workflow point.  A fault
+        plan may request an abort here; whether it takes effect follows the
+        :meth:`abort` contract (ignored once wait-before-stop begins)."""
+        chaos = self.chaos
+        if chaos is not None:
+            chaos.on_phase_boundary(self, name)
 
     def run(self):
         """Generator: execute the migration; returns the report."""
@@ -125,7 +155,9 @@ class LiveMigration:
         image = yield from self.runc.checkpoint_rdma(self.container)
         yield from channel.transfer(image.size_bytes, src=self.source.name)
         report.bytes_transferred += image.size_bytes
+        self._boundary("precopy-dumped")
         session = yield from self.runc.partial_restore(image, self.dest)
+        self._boundary("partial-restored")
 
         if self.presetup:
             yield from self._notify_partners(partners)
@@ -141,10 +173,12 @@ class LiveMigration:
             report.bytes_transferred += diff.size_bytes
             yield from self.runc.apply_iteration(session, diff)
             report.precopy_iterations += 1
+        self._boundary("precopy-iterated")
 
         if self.presetup and not self._abort_requested:
             yield from self._wait_presetup(partners)
         report.t_presetup_done = self.sim.now
+        self._boundary("presetup-done")
         if span is not None:
             span.end(iterations=report.precopy_iterations,
                      bytes=report.bytes_transferred,
@@ -159,11 +193,13 @@ class LiveMigration:
 
         # ---- Wait-before-stop (step 3) ------------------------------------
         report.t_suspend = self.sim.now
+        self._boundary("wbs-entered")
         if tracer is not None and tracer.enabled:
             span = tracer.begin_span(self._trace_lane(tracer), "wait-before-stop")
         self._suspend_source()
         yield from self._suspend_partners(partners)
         yield from self._wait_wbs(partners)
+        self._boundary("wbs-drained")
         if span is not None:
             span.end()
             span = None
@@ -182,20 +218,24 @@ class LiveMigration:
         # Final drain + incomplete-WR snapshot (no-op unless WBS timed out).
         for lib in self._source_libs():
             lib.capture_incomplete_for_replay()
+        self._boundary("frozen")
 
         timer = PhaseTimer(self.sim, report.breakdown, "DumpRDMA").start()
         _diff_info, rdma_bytes = yield from self.plugin.dump_rdma_diff(self.container)
         timer.stop()
+        self._boundary("rdma-dumped")
 
         timer = PhaseTimer(self.sim, report.breakdown, "DumpOthers").start()
         final = yield from self.engine.checkpoint_memory(self.container, full=False)
         yield from self.engine.checkpoint_others(self.container)
         timer.stop()
+        self._boundary("others-dumped")
 
         timer = PhaseTimer(self.sim, report.breakdown, "Transfer").start()
         yield from channel.transfer(final.size_bytes + rdma_bytes, src=self.source.name)
         report.bytes_transferred += final.size_bytes + rdma_bytes
         timer.stop()
+        self._boundary("transferred")
 
         old_resources = self.plugin.snapshot_source_resources(self.container)
 
@@ -220,11 +260,13 @@ class LiveMigration:
             yield from self.plugin.finalize_restore(session)
             yield from self._switch_partners(partners)
             timer.stop()
+        self._boundary("restored")
 
         # ---- Resume (step 7) ---------------------------------------------------
         restored = self.runc.exec_restore(session)
         self._resume_apps(session, restored)
         report.t_resume = self.sim.now
+        self._boundary("resumed")
         if span is not None:
             span.end(blackout_s=report.blackout_s)
             span = None

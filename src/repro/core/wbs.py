@@ -45,6 +45,12 @@ WBS_ENTRY_CYCLES = 17000.0
 #: Per-CQE handling cost inside the WBS drain (poll, translate, bookkeep).
 WBS_PER_CQE_CYCLES = 90.0
 
+#: Test-only fault: when True, WBS discards the completions it drains
+#: instead of parking them in the fake CQs.  Exists so the chaos invariant
+#: suite can prove a broken drain is caught (cqe-conservation and
+#: wbs-drained both fire); never enable outside a test.
+CHAOS_DROP_DRAINED_CQES = False
+
 
 class WaitBeforeStop:
     """The per-process wait-before-stop thread."""
@@ -150,7 +156,8 @@ class WaitBeforeStop:
                 if not wcs:
                     break
                 drained += len(wcs)
-                vcq.fake.extend(wcs)
+                if not CHAOS_DROP_DRAINED_CQES:
+                    vcq.fake.extend(wcs)
         if drained:
             self.absorbed_cqes += drained
             tracer = self.sim.tracer

@@ -239,6 +239,18 @@ def _csv_ints(text: str) -> List[int]:
     return [int(part) for part in text.split(",") if part]
 
 
+def cmd_torture(args) -> int:
+    from repro.chaos.torture import torture
+
+    failures = torture(args.seed, args.runs, scenarios=args.scenario,
+                       shrink_failures=not args.no_shrink)
+    if failures:
+        print(f"{len(failures)} of {args.runs} runs violated invariants")
+        return 1
+    print(f"all {args.runs} runs clean (seed {args.seed})")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     sub = parser.add_subparsers(dest="command", required=True)
@@ -272,14 +284,23 @@ def main(argv=None) -> int:
                     help="per-event kernel dispatch instants (large trace)")
     pt.add_argument("--out", default="trace.json")
 
+    px = sub.add_parser("torture",
+                        help="fault-injection sweep with invariant checks")
+    px.add_argument("--seed", type=int, default=7)
+    px.add_argument("--runs", type=int, default=25)
+    px.add_argument("--scenario", choices=["all", "perftest", "hadoop"],
+                    default="all")
+    px.add_argument("--no-shrink", action="store_true",
+                    help="skip minimizing failing fault sets")
+
     args = parser.parse_args(argv)
     if args.command == "list":
-        for name in ("fig3", "fig4", "fig5", "table4", "fig6", "migros", "trace"):
+        for name in ("fig3", "fig4", "fig5", "table4", "fig6", "migros",
+                     "trace", "torture"):
             print(name)
         return 0
     handler = globals()[f"cmd_{args.command}"]
-    handler(args)
-    return 0
+    return handler(args) or 0
 
 
 if __name__ == "__main__":

@@ -11,6 +11,7 @@ engine retransmits, the TCP channel retransmits).
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Callable, Dict, Optional
 
 from repro.config import Config, default_config
@@ -80,6 +81,9 @@ class Network:
         self._rng = random.Random(self.config.seed ^ 0x5EED)
         self.messages_sent = 0
         self.messages_dropped = 0
+        #: scoped fault hook (see :mod:`repro.chaos.plan`): consulted per
+        #: in-flight message; ``None`` keeps the unfaulted fast path.
+        self.fault_injector = None
 
     def add_node(self, name: str, rate_bps: Optional[float] = None) -> Node:
         if name in self.nodes:
@@ -95,9 +99,25 @@ class Network:
             raise LookupError(f"unknown node {name!r}") from None
 
     def set_loss_rate(self, loss_rate: float) -> None:
+        """Deprecated: global Bernoulli loss with no scope and no owner —
+        state set here silently leaks into every later scenario sharing the
+        network.  Use a :class:`repro.chaos.FaultPlan` (``drop()`` rules are
+        scoped per link/protocol/window and uninstallable) and
+        :meth:`reset_faults` instead."""
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss rate must be in [0, 1), got {loss_rate}")
+        warnings.warn(
+            "Network.set_loss_rate is deprecated; use repro.chaos.FaultPlan"
+            ".drop(...).install(...) for scoped, resettable loss",
+            DeprecationWarning, stacklevel=2)
         self.loss_rate = loss_rate
+
+    def reset_faults(self) -> None:
+        """Clear every fault source: legacy global loss and any installed
+        fault injector.  Scenario teardown calls this so chaos state cannot
+        leak between tests."""
+        self.loss_rate = 0.0
+        self.fault_injector = None
 
     def transmit(self, message: Message) -> None:
         src = self.node(message.src)
@@ -119,6 +139,21 @@ class Network:
                                 size_bytes=size_bytes, payload=payload))
 
     def _propagate(self, message: Message) -> None:
+        injector = self.fault_injector
+        if injector is not None:
+            verdict = injector.intercept(message, self.sim.now)
+            if verdict is not None:
+                # A fault rule matched: [] = drop, one entry per delivery
+                # (several = duplication), each an extra delay on top of
+                # propagation.  Unmatched messages fall through unchanged.
+                if not verdict:
+                    self.messages_dropped += 1
+                    return
+                dst = self.node(message.dst)
+                base = self.config.link.propagation_delay_s
+                for extra in verdict:
+                    self.sim.schedule(base + extra, dst.deliver, message)
+                return
         if self.loss_rate and self._rng.random() < self.loss_rate:
             self.messages_dropped += 1
             return

@@ -192,6 +192,13 @@ class MetricsRegistry:
             for lib in world.all_libs():
                 self.scrape_lib(lib)
 
+    def scrape_chaos(self, plan) -> None:
+        """Injection counters from a :class:`repro.chaos.FaultPlan`."""
+        for name, value in plan.stats.as_dict().items():
+            self.gauge(f"chaos.{name}").set(value)
+        self.gauge("chaos.rules").set(len(plan.rules))
+        self.gauge("chaos.boundaries_seen").set(len(plan.boundaries_seen))
+
     # -- output ----------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:

@@ -92,6 +92,10 @@ class RNIC:
         self._kicks: Dict[int, Queue] = {}
         self._conn_state: Dict[Tuple[str, int], _ConnState] = {}
         self._retry_counts: Dict[Tuple[int, int], int] = {}  # (qpn, ssn) -> retries
+        # (qpn, ssn) -> generation of the most recently armed RTO timer.
+        # Every (re)transmission arms a fresh timer; only the newest one may
+        # count a timeout, mirroring hardware's single ack-timer per request.
+        self._rexmit_gen: Dict[Tuple[int, int], int] = {}
 
         # Control-path activity window: while firmware commands execute,
         # data-path processing pays a contention penalty (Figure 5 brownout).
@@ -110,6 +114,10 @@ class RNIC:
         # same simulated time share one completion_delivery_s event.
         self._wc_batch: Optional[list] = None
         self._wc_batch_time = -1.0
+
+        # Optional fault hook (repro.chaos): RNR storms and CQ delivery
+        # pressure.  None keeps the unfaulted fast path.
+        self.chaos = None
 
         # Ethtool-style byte counters (Figure 5's measurement source).
         self.tx_bytes = 0
@@ -463,13 +471,21 @@ class RNIC:
     # -- retransmission (go-back-N) ------------------------------------------
 
     def _arm_retransmit(self, qp: QP, ssn: int) -> None:
-        self.sim.schedule(self._rto(qp), self._maybe_retransmit, qp, ssn)
+        key = (qp.qpn, ssn)
+        gen = self._rexmit_gen.get(key, 0) + 1
+        self._rexmit_gen[key] = gen
+        self.sim.schedule(self._rto(qp), self._maybe_retransmit, qp, ssn, gen)
 
     def _rto(self, qp: QP) -> float:
         base = 4 * self.config.link.propagation_delay_s + 500e-6
         return base
 
-    def _maybe_retransmit(self, qp: QP, ssn: int) -> None:
+    def _maybe_retransmit(self, qp: QP, ssn: int, gen: int) -> None:
+        if gen != self._rexmit_gen.get((qp.qpn, ssn)):
+            # A later (re)transmission re-armed this ssn; a go-back-N burst
+            # leaves a trail of these stale timers and letting each of them
+            # count a retry would exhaust MAX_RETRIES on a live connection.
+            return
         if ssn not in qp.sq_inflight or qp.destroyed or qp.state is QPState.ERR:
             return
         key = (qp.qpn, ssn)
@@ -515,6 +531,7 @@ class RNIC:
             self._complete_send(qp, wr, qp.next_ssn(), WCStatus.WR_FLUSH_ERR, force=True)
         for ssn in sorted(qp.sq_inflight):
             wr = qp.sq_inflight.pop(ssn)
+            self._rexmit_gen.pop((qp.qpn, ssn), None)
             self._complete_send(qp, wr, ssn, WCStatus.WR_FLUSH_ERR, force=True)
 
     # ------------------------------------------------------------------
@@ -669,6 +686,11 @@ class RNIC:
     def _execute_recv_delivery(self, qp: QP, payload: dict, ud: bool) -> bool:
         """Consume a RECV WR for a SEND; False => RNR (no posted RECV)."""
         data = payload["data"]
+        if not ud and self.chaos is not None and self.chaos.rnr_suppressed(self.sim.now):
+            # Injected RNR storm: pretend no RECV is posted so the RC
+            # requester exercises its RNR NAK + retry path.  UD has no
+            # retry machinery, so storms never touch it.
+            return False
         recv_wr = qp.consume_recv()
         if recv_wr is None:
             return False
@@ -712,7 +734,10 @@ class RNIC:
         batch = [(cq, wc)]
         self._wc_batch = batch
         self._wc_batch_time = self.sim.now
-        self.sim.schedule(self.config.rnic.completion_delivery_s, self._flush_wc_batch, batch)
+        delay = self.config.rnic.completion_delivery_s
+        if self.chaos is not None:
+            delay = self.chaos.completion_delay(self.sim.now, delay)
+        self.sim.schedule(delay, self._flush_wc_batch, batch)
 
     def _flush_wc_batch(self, batch: list) -> None:
         if batch is self._wc_batch:
@@ -842,6 +867,7 @@ class RNIC:
             wr, st, blen = acked.pop(next_ssn)
             qp.sq_inflight.pop(next_ssn, None)
             self._retry_counts.pop((qp.qpn, next_ssn), None)
+            self._rexmit_gen.pop((qp.qpn, next_ssn), None)
             self._complete_send(qp, wr, next_ssn, st, byte_len=blen)
             next_ssn = qp.sq_completed
 

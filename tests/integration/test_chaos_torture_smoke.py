@@ -1,0 +1,25 @@
+"""Bounded torture sweep for CI: a handful of fuzzed fault runs (~30s).
+
+The full acceptance sweep is ``python -m repro.experiments torture --seed 7
+--runs 25``; this marker-gated slice keeps a representative sample in every
+CI run.  ``REPRO_TORTURE_RUNS`` overrides the run count (CI sets it
+explicitly; locally ``pytest -m torture_smoke`` runs the default).
+"""
+
+import os
+
+import pytest
+
+from repro.chaos.torture import run_case, sample_case
+
+pytestmark = pytest.mark.torture_smoke
+
+RUNS = int(os.environ.get("REPRO_TORTURE_RUNS", "6"))
+
+
+@pytest.mark.parametrize("index", range(RUNS))
+def test_torture_smoke(index):
+    case = sample_case(seed=7, index=index)
+    outcome = run_case(case)
+    assert outcome.report.ok, (
+        f"{case!r}\n" + outcome.report.render())

@@ -10,7 +10,9 @@ import pytest
 
 from repro import cluster
 from repro.apps.perftest import PerftestEndpoint, connect_endpoints
+from repro.chaos import FaultPlan
 from repro.core import LiveMigration, MigrRdmaWorld
+from repro.core.orchestrator import PHASE_BOUNDARIES
 
 
 @pytest.fixture
@@ -99,4 +101,67 @@ class TestAbort:
         assert not report.aborted
         assert sender.container.server is tb.destination
         assert sender.stats.clean, sender.stats.status_errors[:3]
+        assert not tb.sim.failed_processes, tb.sim.failed_processes[:3]
+
+
+#: boundaries where abort() still rolls back; from wait-before-stop on the
+#: migration is committed and an abort request is recorded but ignored.
+ABORTABLE = frozenset(PHASE_BOUNDARIES[:4])
+
+
+class TestAbortAtEveryBoundary:
+    """Drive an abort through every named phase boundary via a FaultPlan.
+
+    Before wait-before-stop the rollback contract of the tests above must
+    hold at *every* boundary, not just mid-pre-copy; once the migration is
+    committed the abort must be a no-op and the move must complete.
+    Either way the workload finishes clean and no simulator process dies.
+    """
+
+    @pytest.mark.parametrize("boundary", PHASE_BOUNDARIES)
+    def test_abort_at(self, boundary):
+        tb = cluster.build(num_partners=1)
+        world = MigrRdmaWorld(tb)
+        sender = PerftestEndpoint(tb.source, name="tx", world=world,
+                                  mode="write", msg_size=16384, depth=8)
+        receiver = PerftestEndpoint(tb.partners[0], name="rx", world=world,
+                                    mode="write", msg_size=16384, depth=8)
+
+        def setup():
+            yield from sender.setup(qp_budget=2)
+            yield from receiver.setup(qp_budget=2)
+            yield from connect_endpoints(sender, receiver, qp_count=2)
+
+        tb.run(setup())
+        # Light heap: enough for pre-copy to do real work, small enough to
+        # keep 12 parameterized runs fast.
+        sender.process.set_synthetic_heap(64 * 1024 * 1024, 16 * 1024 * 1024)
+        plan = FaultPlan(name=f"abort@{boundary}").abort_at(boundary)
+        plan.install(tb)
+        sender.start_as_sender()
+
+        def flow():
+            migration = LiveMigration(world, sender.container, tb.destination)
+            plan.arm(migration)
+            report = yield from migration.run()
+            yield tb.sim.timeout(10e-3)
+            sender.stop()
+            yield tb.sim.timeout(5e-3)
+            return report
+
+        report = tb.run(flow(), limit=300.0)
+        assert boundary in plan.boundaries_seen
+        assert plan.stats.aborts_requested == 1
+        if boundary in ABORTABLE:
+            assert report.aborted
+            assert report.t_suspend == 0.0  # never entered wait-before-stop
+            assert sender.container.server is tb.source
+            assert sender.process.pid in world.layer("src").processes
+            assert sender.process.pid not in world.layer("dst").processes
+        else:
+            assert not report.aborted
+            assert sender.container.server is tb.destination
+            assert sender.process.pid in world.layer("dst").processes
+        assert sender.stats.clean, sender.stats.status_errors[:3]
+        assert sender.stats.completed > 0
         assert not tb.sim.failed_processes, tb.sim.failed_processes[:3]

@@ -1,0 +1,110 @@
+"""Property-based tests: fault plans preserve protocol invariants.
+
+Two layers: cheap properties of the injector itself (verdict determinism,
+probability bounds) over many examples, and a small number of full
+end-to-end torture cases where Hypothesis drives the fault palette and the
+migration must still satisfy every invariant checker.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import FaultPlan
+from repro.config import default_config
+from repro.fabric import Message, Network
+from repro.sim import Simulator
+
+
+def _build_net():
+    network = Network(Simulator(), default_config())
+    network.add_node("a")
+    network.add_node("b")
+    return network
+
+
+# -- injector-level properties (cheap, many examples) -----------------------
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 2**16),
+       drop_p=st.floats(0.0, 1.0),
+       dup_p=st.floats(0.0, 1.0),
+       n=st.integers(1, 40))
+def test_injector_verdicts_are_seed_deterministic(seed, drop_p, dup_p, n):
+    """Same seed + same message sequence => bit-identical verdicts."""
+    runs = []
+    for _ in range(2):
+        plan = FaultPlan(seed=seed).drop(drop_p).duplicate(dup_p)
+        plan.install(_build_net())
+        injector = plan.testbed.fault_injector
+        runs.append([injector.intercept(Message("a", "b", "rdma", 64), i * 1e-6)
+                     for i in range(n)])
+    assert runs[0] == runs[1]
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 2**16), n=st.integers(1, 50))
+def test_certain_drop_drops_everything(seed, n):
+    plan = FaultPlan(seed=seed).drop(1.0)
+    plan.install(_build_net())
+    injector = plan.testbed.fault_injector
+    for i in range(n):
+        assert injector.intercept(Message("a", "b", "rdma", 64), i * 1e-6) == []
+    assert plan.stats.fabric_dropped == n
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 2**16),
+       delay_s=st.floats(1e-9, 1e-3),
+       dup_p=st.floats(0.0, 1.0),
+       n=st.integers(1, 30))
+def test_verdict_delays_never_negative(seed, delay_s, dup_p, n):
+    """Whatever the palette, injected deliveries only move later in time."""
+    plan = (FaultPlan(seed=seed).delay(delay_s).duplicate(dup_p)
+            .reorder(0.5, max_delay_s=5e-5))
+    plan.install(_build_net())
+    injector = plan.testbed.fault_injector
+    for i in range(n):
+        verdict = injector.intercept(Message("a", "b", "rdma", 64), i * 1e-6)
+        assert verdict is not None
+        assert all(extra >= 0.0 for extra in verdict)
+        assert len(verdict) >= 1  # no silent drop without drop_p
+
+
+# -- end-to-end: fuzzed fault plans must keep every invariant ---------------
+
+def _window(lo, hi):
+    return st.tuples(st.floats(0.0, lo), st.floats(0.002, hi)).map(
+        lambda t: {"start_s": round(t[0], 6), "end_s": round(t[0] + t[1], 6)})
+
+
+def _spec(kind, extra, lo=0.02, hi=0.06):
+    return st.tuples(st.fixed_dictionaries(extra), _window(lo, hi)).map(
+        lambda t: {"kind": kind, "protocol": "rdma", **t[0], **t[1]})
+
+
+# drop capped at the RC transport's recoverable envelope (see torture.py)
+_FAULT_SPECS = st.one_of(
+    _spec("drop", {"p": st.floats(0.005, 0.05).map(lambda p: round(p, 4))}),
+    _spec("duplicate", {"p": st.floats(0.01, 0.1).map(lambda p: round(p, 4))}),
+    _spec("reorder", {"p": st.floats(0.01, 0.15).map(lambda p: round(p, 4)),
+                      "max_delay_s": st.floats(5e-6, 1e-4).map(
+                          lambda d: round(d, 9))}),
+    _spec("delay", {"delay_s": st.floats(1e-6, 2e-5).map(lambda d: round(d, 9))}),
+)
+
+
+@settings(max_examples=6, deadline=None, derandomize=True,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(faults=st.lists(_FAULT_SPECS, min_size=1, max_size=3),
+       mode=st.sampled_from(["write", "send"]),
+       trigger_ms=st.floats(0.5, 2.5))
+def test_fuzzed_fault_plan_preserves_invariants(faults, mode, trigger_ms):
+    from repro.chaos.torture import TortureCase, run_case
+
+    case = TortureCase(
+        seed=1009, index=0, scenario="perftest",
+        workload={"qps": 1, "msg_size": 16384, "depth": 4, "mode": mode,
+                  "migrate": "sender", "presetup": True},
+        faults=faults, trigger_s=trigger_ms * 1e-3)
+    outcome = run_case(case)
+    assert outcome.report.ok, "\n" + outcome.report.render()

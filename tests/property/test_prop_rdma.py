@@ -3,6 +3,7 @@
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.chaos import FaultPlan
 from repro.rnic import Opcode, SendWR, WCStatus
 from repro.verbs.api import make_sge
 
@@ -19,7 +20,8 @@ def test_rc_writes_complete_in_order_with_exact_bytes(sizes, loss):
     """Any mix of WRITE sizes under any (modest) loss: completions arrive
     in posting order, all succeed, and the payloads land intact."""
     tb, a, b = build_pair(buf_len=max(65536, max(sizes) * 2), depth=32)
-    tb.network.set_loss_rate(loss)
+    if loss:
+        FaultPlan(seed=17).drop(loss, protocol="rdma").install(tb)
     payloads = [bytes([(i * 37 + j) % 251 for j in range(size)])
                 for i, size in enumerate(sizes)]
 
@@ -54,7 +56,8 @@ def test_sends_never_duplicated_or_reordered(count, loss):
     from repro.rnic import RecvWR
 
     tb, a, b = build_pair(buf_len=65536, depth=32)
-    tb.network.set_loss_rate(loss)
+    if loss:
+        FaultPlan(seed=23).drop(loss, protocol="rdma").install(tb)
 
     def driver():
         for i in range(count):

@@ -103,7 +103,9 @@ class TestNetwork:
         node.unregister_handler("p", missing_ok=True)  # idempotent
 
     def test_loss_drops_messages(self, sim, net):
-        net.set_loss_rate(0.999)
+        from repro.chaos import FaultPlan
+
+        FaultPlan(seed=3).drop(0.999).install(net)
         received = []
         net.node("b").register_handler("test", received.append)
         for _ in range(50):
@@ -112,11 +114,39 @@ class TestNetwork:
         assert net.messages_dropped > 0
         assert len(received) < 50
 
+    def test_legacy_loss_rate_deprecated_but_works(self, sim, net):
+        with pytest.warns(DeprecationWarning):
+            net.set_loss_rate(0.999)
+        received = []
+        net.node("b").register_handler("test", received.append)
+        for _ in range(50):
+            net.node("a").send(Message("a", "b", "test", 100))
+        sim.run()
+        assert net.messages_dropped > 0
+
     def test_loss_rate_validation(self, net):
+        # Validation rejects before the deprecation warning fires.
         with pytest.raises(ValueError):
             net.set_loss_rate(1.0)
         with pytest.raises(ValueError):
             net.set_loss_rate(-0.1)
+        assert net.loss_rate == 0.0
+
+    def test_reset_faults_clears_stale_state(self, sim, net):
+        from repro.chaos import FaultPlan
+
+        with pytest.warns(DeprecationWarning):
+            net.set_loss_rate(0.5)
+        FaultPlan(seed=1).drop(1.0).install(net)
+        net.reset_faults()
+        assert net.loss_rate == 0.0
+        assert net.fault_injector is None
+        received = []
+        net.node("b").register_handler("test", received.append)
+        for _ in range(20):
+            net.node("a").send(Message("a", "b", "test", 100))
+        sim.run()
+        assert len(received) == 20  # nothing leaks into the next scenario
 
     def test_negative_message_size_rejected(self):
         with pytest.raises(ValueError):
@@ -140,7 +170,9 @@ class TestTcpChannel:
         assert elapsed == pytest.approx(net.config.migration.per_message_overhead_s)
 
     def test_transfer_survives_loss(self, sim, net):
-        net.set_loss_rate(0.05)
+        from repro.chaos import FaultPlan
+
+        FaultPlan(seed=5).drop(0.05).install(net)
         channel = TcpChannel(net, "a", "b", rate_bps=40e9)
         nbytes = 8 * 1024 * 1024
         elapsed = sim.run_until_complete(sim.spawn(channel.transfer(nbytes)))
@@ -165,7 +197,9 @@ class TestTcpChannel:
             sim.run_until_complete(process)
 
     def test_rpc_survives_loss(self, sim, net):
-        net.set_loss_rate(0.3)
+        from repro.chaos import FaultPlan
+
+        FaultPlan(seed=9).drop(0.3).install(net)
         channel = TcpChannel(net, "a", "b")
         calls = []
 

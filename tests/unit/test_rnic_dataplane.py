@@ -304,8 +304,10 @@ class TestOrderingAndState:
         assert elapsed < wire_time * 1.25
 
     def test_reliability_under_loss(self, pair):
+        from repro.chaos import FaultPlan
+
         tb, a, b = pair
-        tb.network.set_loss_rate(0.02)
+        FaultPlan(seed=11).drop(0.02, protocol="rdma").install(tb)
         a.process.space.write(a.buf_addr, bytes(range(256)))
 
         def driver():
@@ -342,8 +344,10 @@ class TestUD:
         assert b.process.space.read(b.buf_addr, 8) == b"datagram"
 
     def test_ud_loss_is_silent(self):
+        from repro.chaos import FaultPlan
+
         tb, a, b = build_pair(qp_count=1, qp_type=QPType.UD)
-        tb.network.set_loss_rate(0.999)
+        FaultPlan(seed=13).drop(0.999, protocol="rdma").install(tb)
 
         def driver():
             b.lib.post_recv(b.qp, RecvWR(wr_id=7, sges=[make_sge(b.mr, 0, 64)]))
