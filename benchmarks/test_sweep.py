@@ -1,0 +1,80 @@
+"""Parallel sweep engine: wall-clock speedup and determinism contract.
+
+Runs the same torture campaign twice — sequentially (``jobs=1``) and over
+a spawn worker pool (``jobs=min(4, cores)``) — and records the wall-clock
+of each plus the speedup in ``BENCH_sweep.json``.  The part that must
+hold everywhere is the determinism contract: the per-run sha256 digests
+(and every simulated-time field) are bit-identical between the two
+executions.  The speedup itself is machine-dependent: spawn startup costs
+a fixed ~1s/worker, so the assertion only applies on 4+-core machines
+where the campaign is long enough to amortize it.
+
+``REPRO_BENCH_FULL=1`` runs the acceptance-sized campaign (25 runs).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from bench_common import FULL_MODE
+
+from repro.chaos.torture import torture_sweep
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_FILE = REPO_ROOT / "BENCH_sweep.json"
+
+SEED = 7
+RUNS = 25 if FULL_MODE else 6
+CORES = os.cpu_count() or 1
+JOBS = min(4, CORES)
+
+#: Wall-clock floor for the parallel campaign on machines with the cores
+#: to exploit it (the ISSUE's acceptance bar, measured at 25 runs).
+SPEEDUP_FLOOR = 2.5
+
+
+def test_sweep_speedup_and_determinism():
+    start = time.perf_counter()
+    sequential = torture_sweep(SEED, RUNS, jobs=1)
+    sequential_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = torture_sweep(SEED, RUNS, jobs=JOBS)
+    parallel_s = time.perf_counter() - start
+
+    # The determinism contract: --jobs must be unobservable in the results.
+    assert [o.digest for o in sequential] == [o.digest for o in parallel]
+    assert [o.sim_now for o in sequential] == [o.sim_now for o in parallel]
+    assert ([o.events_processed for o in sequential]
+            == [o.events_processed for o in parallel])
+    assert all(o.ok for o in sequential), [
+        o.report.render() for o in sequential if not o.ok]
+
+    speedup = sequential_s / parallel_s if parallel_s else 0.0
+    result = {
+        "campaign": f"torture(seed={SEED}, runs={RUNS})",
+        "cores": CORES,
+        "jobs": JOBS,
+        "sequential_wallclock_s": round(sequential_s, 4),
+        "parallel_wallclock_s": round(parallel_s, 4),
+        "speedup": round(speedup, 3),
+        "digests_identical": True,
+        "runs_clean": sum(1 for o in sequential if o.ok),
+        "sim_time_total_s": round(sum(o.sim_now for o in sequential), 9),
+        "events_total": sum(o.events_processed for o in sequential),
+    }
+    RESULT_FILE.write_text(json.dumps(result, indent=2) + "\n")
+
+    # Speedup is only meaningful with cores to spread over (and a campaign
+    # long enough to amortize spawn startup); the acceptance bar is 2.5x
+    # at 25 runs / 4 jobs on a 4+-core machine.
+    if CORES >= 4 and FULL_MODE:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"parallel campaign only {speedup:.2f}x faster than sequential "
+            f"(floor {SPEEDUP_FLOOR}x on {CORES} cores)")
+    elif CORES >= 4:
+        # Short campaign: still expect parallelism to win, with slack for
+        # the pool's fixed startup.
+        assert speedup >= 1.2, (
+            f"parallel campaign slower than sequential ({speedup:.2f}x)")

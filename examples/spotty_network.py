@@ -7,65 +7,45 @@ configured upper bound, MigrRDMA proceeds anyway and replays the
 posted-but-not-completed WRs after restoration — every WR still completes
 exactly once from the application's point of view.
 
+Both points run through the parallel engine's single-process path (the
+same sweep implementation every experiment uses).
+
 Run:  python examples/spotty_network.py
 """
 
-from repro import cluster
-from repro.apps.perftest import PerftestEndpoint, connect_endpoints
-from repro.config import default_config
-from repro.core import LiveMigration, MigrRdmaWorld
+from repro.parallel import TaskSpec, run_tasks
+
+POINTS = [
+    (2.0, "healthy network, generous bound"),
+    (0.0002, "bound tighter than the drain"),
+]
 
 
-def run_once(wbs_timeout_s, label):
-    config = default_config()
-    config.migration.wbs_timeout_s = wbs_timeout_s
-    tb = cluster.build(config=config, num_partners=1)
-    world = MigrRdmaWorld(tb)
-    sender = PerftestEndpoint(tb.source, world=world, mode="write",
-                              msg_size=256 * 1024, depth=64)
-    receiver = PerftestEndpoint(tb.partners[0], world=world, mode="write",
-                                msg_size=256 * 1024, depth=64)
-
-    def setup():
-        yield from sender.setup(qp_budget=1)
-        yield from receiver.setup(qp_budget=1)
-        yield from connect_endpoints(sender, receiver, qp_count=1)
-
-    tb.run(setup())
-    sender.start_as_sender()
-
-    def scenario():
-        yield tb.sim.timeout(5e-3)
-        migration = LiveMigration(world, sender.container, tb.destination)
-        report = yield from migration.run()
-        yield tb.sim.timeout(30e-3)
-        sender.stop()
-        yield tb.sim.timeout(20e-3)
-        return report
-
-    report = tb.run(scenario(), limit=300.0)
-    inflight_bytes = 64 * 256 * 1024
-    theory_ms = inflight_bytes * 8 / tb.config.link.rate_bps * 1e3
-    print(f"--- {label} (WBS bound {wbs_timeout_s * 1e3:.1f} ms, "
+def show(row, label):
+    theory_ms = row["inflight_bytes"] * 8 / row["link_rate_bps"] * 1e3
+    print(f"--- {label} (WBS bound {row['wbs_timeout_s'] * 1e3:.1f} ms, "
           f"drain theory {theory_ms:.2f} ms) ---")
-    print(f"  WBS elapsed:    {report.wbs_elapsed_s * 1e3:.2f} ms"
-          f"{'  (TIMED OUT -> replay path)' if report.wbs_timed_out else ''}")
-    print(f"  blackout:       {report.blackout_s * 1e3:.1f} ms")
-    print(f"  WRs completed:  {sender.stats.completed}, "
-          f"order errors: {len(sender.stats.order_errors)}, "
-          f"status errors: {len(sender.stats.status_errors)}")
-    conn = sender.connections[0]
-    assert sender.stats.clean
-    assert conn.completed == conn.next_seq - conn.outstanding
+    print(f"  WBS elapsed:    {row['wbs_elapsed_s'] * 1e3:.2f} ms"
+          f"{'  (TIMED OUT -> replay path)' if row['wbs_timed_out'] else ''}")
+    print(f"  blackout:       {row['blackout_s'] * 1e3:.1f} ms")
+    print(f"  WRs completed:  {row['completed']}, "
+          f"order errors: {row['order_errors']}, "
+          f"status errors: {row['status_errors']}")
+    assert row["clean"]
+    assert row["exactly_once"]
     print("  OK: exactly-once completion held.")
-    return report
 
 
 def main():
     print("=== Wait-before-stop: healthy vs bounded (spotty) network ===\n")
-    run_once(wbs_timeout_s=2.0, label="healthy network, generous bound")
-    print()
-    run_once(wbs_timeout_s=0.0002, label="bound tighter than the drain")
+    specs = [TaskSpec("repro.parallel.runners.wbs_timeout_run",
+                      dict(wbs_timeout_s=timeout_s), label=label)
+             for timeout_s, label in POINTS]
+    results = run_tasks(specs, jobs=1)
+    for result, (_timeout_s, label) in zip(results, POINTS):
+        assert result.ok, result.error
+        show(result.value, label)
+        print()
 
 
 if __name__ == "__main__":

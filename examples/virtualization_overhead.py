@@ -7,47 +7,40 @@ and prints per-operation CPU cycles plus the relative overhead.  Also shows
 the §6 comparison against LubeRDMA's linked-list key translation and a
 FreeFlow-style full-queue virtualization.
 
-Run:  python examples/virtualization_overhead.py
+The measurement cells go through the parallel engine (the same sweep
+implementation ``repro.experiments table4`` uses); pass ``--jobs N`` to
+fan them over worker processes.
+
+Run:  python examples/virtualization_overhead.py [--jobs 4]
 """
 
-from repro import cluster
-from repro.apps.perftest import PerftestEndpoint, connect_endpoints
+import sys
+
 from repro.baselines import FreeFlowCostModel, LubeRdmaKeyTable
 from repro.baselines.keytables import uniform_access_pattern
-from repro.core import MigrRdmaWorld
-
-
-def measure(mode: str, virtualized: bool, iters: int = 512):
-    tb = cluster.build(num_partners=1)
-    world = MigrRdmaWorld(tb) if virtualized else None
-    sender = PerftestEndpoint(tb.source, world=world, mode=mode,
-                              msg_size=64, depth=16, sample_cycles=True)
-    receiver = PerftestEndpoint(tb.partners[0], world=world, mode=mode,
-                                msg_size=64, depth=16)
-
-    def flow():
-        yield from sender.setup(qp_budget=1)
-        yield from receiver.setup(qp_budget=1)
-        yield from connect_endpoints(sender, receiver, qp_count=1)
-        if mode == "send":
-            receiver.start_as_receiver()
-        sender.start_as_sender(iters=iters)
-        while sender.running:
-            yield tb.sim.timeout(100e-6)
-
-    tb.run(flow(), limit=60.0)
-    assert sender.stats.clean, sender.stats
-    return sender.process.cpu.mean_sample_cycles(mode)
+from repro.parallel import TaskSpec, run_tasks
 
 
 def main():
+    jobs = int(sys.argv[sys.argv.index("--jobs") + 1]) if "--jobs" in sys.argv else 1
+    modes = ("send", "write", "read")
+    specs = [TaskSpec("repro.parallel.runners.table4_run",
+                      dict(mode=mode, virtualized=virtualized, iters=512),
+                      label=f"{mode}:{'virt' if virtualized else 'base'}")
+             for mode in modes for virtualized in (False, True)]
+    results = run_tasks(specs, jobs=jobs)
+    for result in results:
+        assert result.ok, result.error
+    cells = {(r.value["mode"], r.value["virtualized"]): r.value["mean_cycles"]
+             for r in results}
+
     print("=== Table 4: data-path CPU cycles per operation (64 B, 1 RC QP) ===")
     print(f"{'op':<8} {'w/o virt':>10} {'with virt':>10} {'extra':>8} {'overhead':>9}")
-    for mode, label in [("send", "send"), ("write", "write"), ("read", "read")]:
-        base = measure(mode, virtualized=False)
-        virt = measure(mode, virtualized=True)
+    for mode in modes:
+        base = cells[(mode, False)]
+        virt = cells[(mode, True)]
         extra = virt - base
-        print(f"{label:<8} {base:>10.1f} {virt:>10.1f} {extra:>8.1f} {extra / base:>8.1%}")
+        print(f"{mode:<8} {base:>10.1f} {virt:>10.1f} {extra:>8.1f} {extra / base:>8.1%}")
 
     print()
     print("=== §6: key translation designs (uniform access over N MRs) ===")

@@ -29,7 +29,8 @@ from repro.chaos.plan import FaultPlan
 from repro.core import LiveMigration, MigrRdmaWorld
 
 __all__ = ["TortureCase", "TortureOutcome", "sample_case", "build_plan",
-           "run_case", "shrink", "reproducer_source", "torture"]
+           "run_case", "run_case_tolerant", "shrink", "reproducer_source",
+           "torture", "torture_sweep"]
 
 #: sim-time budget for the post-run drain of in-flight completions
 QUIESCE_TIMEOUT_S = 1.0
@@ -244,6 +245,30 @@ def run_case(case: TortureCase) -> TortureOutcome:
         fault_stats=ctx.plan.stats.as_dict() if ctx.plan else {})
 
 
+def crash_outcome(case: TortureCase, error: str) -> TortureOutcome:
+    """A synthetic failing outcome for a case whose *harness* crashed.
+
+    The crash is reported through the same channel as an invariant
+    violation (a ``worker-crash`` entry) so campaign aggregation, exit
+    codes and reproducer printing treat it like any other failure instead
+    of dying with it.
+    """
+    report = InvariantReport(checked=["worker-crash"],
+                             violations=[("worker-crash", error)])
+    return TortureOutcome(case=case, report=report, digest="",
+                          sim_now=0.0, events_processed=0, fault_stats={})
+
+
+def run_case_tolerant(case: TortureCase) -> TortureOutcome:
+    """Like :func:`run_case`, but a raised exception becomes a failing
+    outcome — used during shrinking so a crashing fault set minimizes the
+    same way an invariant-violating one does."""
+    try:
+        return run_case(case)
+    except Exception as exc:
+        return crash_outcome(case, f"{type(exc).__name__}: {exc}")
+
+
 def _run_perftest_case(case: TortureCase) -> InvariantContext:
     w = case.workload
     tb = cluster.build(num_partners=1)
@@ -348,23 +373,67 @@ def test_torture_seed{case.seed}_run{case.index}():
 # the sweep
 # ---------------------------------------------------------------------------
 
+def torture_sweep(seed: int, runs: int, scenarios: str = "all",
+                  jobs: int = 1,
+                  log: Optional[Callable[[str], None]] = None
+                  ) -> List[TortureOutcome]:
+    """Run the campaign through the parallel engine; returns one outcome
+    per run, in run order.
+
+    A worker whose harness crashes comes back as a ``worker-crash``
+    outcome (case reconstructed from ``(seed, index)``) instead of
+    killing the campaign.  Each case builds a fresh testbed and seeds
+    everything from ``(seed, index)``, so the outcomes — including the
+    sha256 digests — are identical for any ``jobs``.
+    """
+    from repro.parallel.engine import TaskSpec, run_tasks
+
+    specs = [TaskSpec("repro.parallel.runners.torture_run",
+                      dict(seed=seed, index=index, scenarios=scenarios),
+                      label=f"torture:{seed}:{index}")
+             for index in range(runs)]
+
+    def progress(result):
+        if log is None:
+            return
+        if result.ok:
+            outcome = result.value
+            case = outcome.case
+            log(f"run {result.index:>3}/{runs}: {case.scenario:<8} "
+                f"faults={','.join(f['kind'] for f in case.faults) or 'none'} "
+                f"events={outcome.events_processed} "
+                f"{'ok' if outcome.ok else 'FAIL'}")
+        else:
+            log(f"run {result.index:>3}/{runs}: CRASH ({result.error_type})")
+
+    results = run_tasks(specs, jobs=jobs, on_result=progress)
+    outcomes: List[TortureOutcome] = []
+    for result in results:
+        if result.ok:
+            outcomes.append(result.value)
+        else:
+            case = sample_case(seed, result.index, scenarios)
+            if log is not None:
+                log(f"run {result.index} harness crash:\n{result.error}")
+            outcomes.append(crash_outcome(case, result.error_type or "crash"))
+    return outcomes
+
+
 def torture(seed: int, runs: int, scenarios: str = "all",
             shrink_failures: bool = True,
-            log: Callable[[str], None] = print) -> List[TortureOutcome]:
+            log: Callable[[str], None] = print,
+            jobs: int = 1) -> List[TortureOutcome]:
     """Run the sweep; returns the failing outcomes (empty = all clean)."""
+    outcomes = torture_sweep(seed, runs, scenarios, jobs=jobs, log=log)
     failures: List[TortureOutcome] = []
-    for index in range(runs):
-        case = sample_case(seed, index, scenarios)
-        outcome = run_case(case)
-        summary = (f"run {index:>3}/{runs}: {case.scenario:<8} "
-                   f"faults={','.join(f['kind'] for f in case.faults) or 'none'} "
-                   f"events={outcome.events_processed} "
-                   f"{'ok' if outcome.ok else 'FAIL'}")
-        log(summary)
-        if not outcome.ok:
-            failures.append(outcome)
-            log(outcome.report.render())
-            if shrink_failures:
-                shrunk = shrink(case, log=log)
-                log("minimal reproducer:\n" + reproducer_source(shrunk))
+    for outcome in outcomes:
+        if outcome.ok:
+            continue
+        failures.append(outcome)
+        log(outcome.report.render())
+        if shrink_failures:
+            # Crash-tolerant shrinking: a fault set that still crashes the
+            # harness keeps failing, so it minimizes like any violation.
+            shrunk = shrink(outcome.case, run=run_case_tolerant, log=log)
+            log("minimal reproducer:\n" + reproducer_source(shrunk))
     return failures

@@ -28,15 +28,25 @@ from repro.config import QPN_SPACE
 
 
 class QpnTable:
-    """Physical→virtual QPN translation (one table per RNIC/server)."""
+    """Physical→virtual QPN translation (one table per RNIC/server).
+
+    A maintained virtual→physical reverse index keeps the restore-time
+    lookup O(1); at 256+ QPs the old full-table scan per restored QP made
+    table rebuild cost quadratic in fan-out.
+    """
 
     def __init__(self):
         self._table: Dict[int, int] = {}
+        self._by_virtual: Dict[int, int] = {}
 
     def set(self, physical: int, virtual: int) -> None:
         if not 0 <= physical < QPN_SPACE:
             raise ValueError(f"physical QPN {physical:#x} outside 24-bit space")
+        old = self._table.get(physical)
+        if old is not None and self._by_virtual.get(old) == physical:
+            del self._by_virtual[old]
         self._table[physical] = virtual
+        self._by_virtual[virtual] = physical
 
     def lookup(self, physical: int) -> int:
         try:
@@ -48,12 +58,20 @@ class QpnTable:
         return self._table.get(physical, physical)
 
     def delete(self, physical: int) -> None:
-        self._table.pop(physical, None)
+        virtual = self._table.pop(physical, None)
+        if virtual is not None and self._by_virtual.get(virtual) == physical:
+            del self._by_virtual[virtual]
 
     def physical_for_virtual(self, virtual: int) -> int:
-        """Reverse scan (control-path only: used at restore time)."""
+        """Reverse lookup (control path: used at restore time)."""
+        physical = self._by_virtual.get(virtual)
+        if physical is not None:
+            return physical
+        # A deleted mapping may have shadowed an older physical for the
+        # same virtual QPN; fall back to the scan and repair the index.
         for physical, v in self._table.items():
             if v == virtual:
+                self._by_virtual[virtual] = physical
                 return physical
         raise LookupError(f"no physical QPN maps to virtual {virtual:#x}")
 
@@ -74,11 +92,19 @@ class LkeyTable:
 
     def __init__(self):
         self._physical: List[Optional[int]] = []
+        # Maintained physical→virtual reverse index + live count, so the
+        # WBS unvirtualize path and ``len()`` don't rescan the whole array
+        # (per inflight WR / per invariant check at high fan-out).
+        self._by_physical: Dict[int, int] = {}
+        self._live = 0
 
     def allocate(self, physical: int) -> int:
         """Assign the next virtual key to ``physical``; returns the vkey."""
         self._physical.append(physical)
-        return len(self._physical) - 1
+        vkey = len(self._physical) - 1
+        self._by_physical[physical] = vkey
+        self._live += 1
+        return vkey
 
     def lookup(self, vkey: int) -> int:
         try:
@@ -91,15 +117,36 @@ class LkeyTable:
 
     def update(self, vkey: int, new_physical: int) -> None:
         """Point an existing virtual key at the restored physical key."""
-        self.lookup(vkey)  # validates
+        old = self.lookup(vkey)  # validates
+        if self._by_physical.get(old) == vkey:
+            del self._by_physical[old]
         self._physical[vkey] = new_physical
+        self._by_physical[new_physical] = vkey
 
     def release(self, vkey: int) -> None:
         if 0 <= vkey < len(self._physical):
+            physical = self._physical[vkey]
+            if physical is not None:
+                self._live -= 1
+                if self._by_physical.get(physical) == vkey:
+                    del self._by_physical[physical]
             self._physical[vkey] = None
 
+    def vkey_for_physical(self, physical: int) -> Optional[int]:
+        """Reverse-map a physical key to its (latest) virtual key."""
+        vkey = self._by_physical.get(physical)
+        if vkey is not None:
+            return vkey
+        # An update/release may have shadowed an older alias for the same
+        # physical key; fall back to a last-wins scan and repair the index.
+        for cand in range(len(self._physical) - 1, -1, -1):
+            if self._physical[cand] == physical:
+                self._by_physical[physical] = cand
+                return cand
+        return None
+
     def __len__(self) -> int:
-        return sum(1 for p in self._physical if p is not None)
+        return self._live
 
 
 class DenseArrayTable:
@@ -169,6 +216,9 @@ class RkeyCache:
 
     def __init__(self):
         self._cache: Dict[Tuple[str, str, int], int] = {}
+        # Maintained (kind, physical)→(service, virtual) reverse index so
+        # the WBS unvirtualize path doesn't scan the whole cache per WR.
+        self._by_physical: Dict[Tuple[str, int], Tuple[str, int]] = {}
         self.hits = 0
         self.misses = 0
 
@@ -186,6 +236,21 @@ class RkeyCache:
 
     def put(self, service_id: str, kind: str, virtual: int, physical: int) -> None:
         self._cache[(service_id, kind, virtual)] = physical
+        # First-wins, matching the old scan's insertion-order semantics.
+        self._by_physical.setdefault((kind, physical), (service_id, virtual))
+
+    def reverse_lookup(self, kind: str, physical: int) -> Optional[Tuple[str, int]]:
+        """Map a physical value back to its cached ``(service, virtual)``."""
+        entry = self._by_physical.get((kind, physical))
+        if entry is not None:
+            return entry
+        # An invalidation may have shadowed an alias from another service;
+        # fall back to the scan and repair the index.
+        for (sid, k, virtual), phys in self._cache.items():
+            if k == kind and phys == physical:
+                self._by_physical[(kind, physical)] = (sid, virtual)
+                return (sid, virtual)
+        return None
 
     def invalidate_service(self, service_id: str) -> int:
         """Drop every entry for a migrated service; returns entries removed."""
@@ -196,7 +261,10 @@ class RkeyCache:
         ``(kind, virtual)`` pairs — the working set a prefetch can re-warm."""
         stale = [k for k in self._cache if k[0] == service_id]
         for key in stale:
-            del self._cache[key]
+            sid, kind, virtual = key
+            physical = self._cache.pop(key)
+            if self._by_physical.get((kind, physical)) == (sid, virtual):
+                del self._by_physical[(kind, physical)]
         return [(kind, virtual) for _sid, kind, virtual in stale]
 
     def __len__(self) -> int:

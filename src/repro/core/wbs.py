@@ -203,19 +203,16 @@ class WaitBeforeStop:
 
         out = []
         lkey_table = self.lib.state.lkey_table
-        reverse = {}
-        for vkey in range(len(lkey_table._physical)):
-            physical = lkey_table._physical[vkey]
-            if physical is not None:
-                reverse[physical] = vkey
+        rkey_cache = self.lib.rkey_cache
         for wr in wrs:
             virtual = clone_send_wr(wr)
             for sge in virtual.sges:
-                sge.lkey = reverse.get(sge.lkey, sge.lkey)
+                vkey = lkey_table.vkey_for_physical(sge.lkey)
+                if vkey is not None:
+                    sge.lkey = vkey
             if virtual.opcode.is_one_sided and not vqp.passthrough:
-                for (service, kind, vrkey), phys in list(self.lib.rkey_cache._cache.items()):
-                    if kind == "rkey" and phys == virtual.rkey:
-                        virtual.rkey = vrkey
-                        break
+                entry = rkey_cache.reverse_lookup("rkey", virtual.rkey)
+                if entry is not None:
+                    virtual.rkey = entry[1]
             out.append(virtual)
         return out

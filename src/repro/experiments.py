@@ -3,13 +3,19 @@
 Usage::
 
     python -m repro.experiments list
-    python -m repro.experiments fig3 [--qps 16,64] [--migrate sender]
-    python -m repro.experiments fig4 [--sweep msgsize]
+    python -m repro.experiments fig3 [--qps 16,64] [--migrate sender] [--jobs 4]
+    python -m repro.experiments fig4 [--sweep msgsize] [--jobs 4]
     python -m repro.experiments fig5 [--migrate receiver]
-    python -m repro.experiments table4
-    python -m repro.experiments fig6 [--task dfsio] [--fast]
-    python -m repro.experiments migros [--qps 16,64,256]
+    python -m repro.experiments table4 [--jobs 4]
+    python -m repro.experiments fig6 [--task dfsio] [--fast] [--jobs 3]
+    python -m repro.experiments migros [--qps 16,64,256] [--jobs 4]
     python -m repro.experiments trace [--qps 8] [--out trace.json]
+    python -m repro.experiments torture [--seed 7] [--runs 25] [--jobs 4]
+
+Every sweep command takes ``--jobs N`` (0 = all cores) and fans its
+independent simulation points over a spawn worker pool via
+``repro.parallel``; results are merged in sweep order and are
+bit-identical to a ``--jobs 1`` run (see DESIGN.md §10).
 
 The pytest benchmarks under ``benchmarks/`` remain the canonical
 reproduction (they also assert the paper's shape claims); this runner is
@@ -22,12 +28,8 @@ import argparse
 import sys
 from typing import List
 
-from repro import cluster
-from repro.apps.perftest import PerftestEndpoint, connect_endpoints
-from repro.baselines import MigrOsModel
 from repro.config import default_config
-from repro.core import LiveMigration, MigrRdmaWorld
-from repro.metrics import ThroughputSampler
+from repro.parallel import TaskSpec, run_tasks
 
 
 def sparkline(values: List[float], width: int = 72) -> str:
@@ -41,145 +43,137 @@ def sparkline(values: List[float], width: int = 72) -> str:
     return "".join(blocks[min(8, int(v / top * 8))] for v in sampled)
 
 
-def _migration_run(num_qps: int, migrate: str, presetup: bool,
-                   msg_size: int = 65536, depth: int = 8,
-                   sample_partner: bool = False):
-    tb = cluster.build(num_partners=1)
-    world = MigrRdmaWorld(tb)
-    kwargs = dict(world=world, mode="write", msg_size=msg_size, depth=depth)
-    sender = PerftestEndpoint(tb.source if migrate == "sender" else tb.partners[0],
-                              name="tx", **kwargs)
-    receiver = PerftestEndpoint(tb.partners[0] if migrate == "sender" else tb.source,
-                                name="rx", **kwargs)
-    mover = sender if migrate == "sender" else receiver
-
-    def setup():
-        yield from sender.setup(qp_budget=num_qps)
-        yield from receiver.setup(qp_budget=num_qps)
-        yield from connect_endpoints(sender, receiver, qp_count=num_qps)
-
-    tb.run(setup())
-    sampler = None
-    if sample_partner:
-        sampler = ThroughputSampler.for_nic(tb.sim, tb.partners[0].rnic, 5e-3)
-        sampler.start()
-    sender.start_as_sender()
-
-    def flow():
-        yield tb.sim.timeout(0.25 if sample_partner else 2e-3)
-        migration = LiveMigration(world, mover.container, tb.destination,
-                                  presetup=presetup)
-        report = yield from migration.run()
-        yield tb.sim.timeout(0.3 if sample_partner else 2e-3)
-        sender.stop()
-        receiver.stop()
-        yield tb.sim.timeout(2e-3)
-        return report
-
-    report = tb.run(flow(), limit=1200.0)
-    if sampler is not None:
-        sampler.stop()
-    assert sender.stats.clean, sender.stats.status_errors[:2]
-    return report, sampler, migrate
+_RUNNERS = "repro.parallel.runners"
 
 
-def cmd_fig3(args) -> None:
+def _sweep(specs: List[TaskSpec], jobs: int) -> tuple:
+    """Run a sweep; returns (rows, failed) with crashes reported, not raised."""
+    results = run_tasks(specs, jobs=jobs)
+    failed = 0
+    for result in results:
+        if not result.ok:
+            failed += 1
+            print(f"FAILED {result.label}: {result.error_type}", file=sys.stderr)
+            print(result.error, file=sys.stderr)
+    return results, failed
+
+
+def cmd_fig3(args) -> int:
+    specs = [TaskSpec(f"{_RUNNERS}.migration_run",
+                      dict(num_qps=num_qps, migrate=args.migrate,
+                           presetup=presetup),
+                      label=f"fig3:{num_qps}qp:{'pre' if presetup else 'nopre'}")
+             for num_qps in args.qps for presetup in (True, False)]
+    results, failed = _sweep(specs, args.jobs)
     print(f"{'case':<18}{'QPs':>6}{'DumpRDMA':>10}{'DumpOthers':>12}"
           f"{'Transfer':>10}{'RestoreRDMA':>13}{'FullRestore':>13}{'blackout':>10}")
-    for num_qps in args.qps:
-        for presetup in (True, False):
-            report, _s, _m = _migration_run(num_qps, args.migrate, presetup)
-            phases = dict(report.breakdown.ordered())
-            label = f"{args.migrate}/{'pre' if presetup else 'nopre'}"
-            print(f"{label:<18}{num_qps:>6}"
-                  f"{phases.get('DumpRDMA', 0) * 1e3:>10.1f}"
-                  f"{phases.get('DumpOthers', 0) * 1e3:>12.1f}"
-                  f"{phases.get('Transfer', 0) * 1e3:>10.1f}"
-                  f"{phases.get('RestoreRDMA', 0) * 1e3:>13.1f}"
-                  f"{phases.get('FullRestore', 0) * 1e3:>13.1f}"
-                  f"{report.blackout_s * 1e3:>10.1f}  (ms)")
+    for result in results:
+        if not result.ok:
+            continue
+        row = result.value
+        phases = row["phases"]
+        label = f"{row['migrate']}/{'pre' if row['presetup'] else 'nopre'}"
+        print(f"{label:<18}{row['num_qps']:>6}"
+              f"{phases.get('DumpRDMA', 0) * 1e3:>10.1f}"
+              f"{phases.get('DumpOthers', 0) * 1e3:>12.1f}"
+              f"{phases.get('Transfer', 0) * 1e3:>10.1f}"
+              f"{phases.get('RestoreRDMA', 0) * 1e3:>13.1f}"
+              f"{phases.get('FullRestore', 0) * 1e3:>13.1f}"
+              f"{row['blackout_s'] * 1e3:>10.1f}  (ms)")
+    return 1 if failed else 0
 
 
-def cmd_fig4(args) -> None:
+def cmd_fig4(args) -> int:
     link_rate = default_config().link.rate_bps
-    print(f"{'point':>10}{'theory_us':>12}{'wbs_us':>10}{'ratio':>8}")
     if args.sweep == "qps":
         points = [(n, 4096) for n in (1, 4, 16, 64)]
     else:
         points = [(1, s) for s in (512, 4096, 65536, 524288)]
-    for num_qps, msg_size in points:
-        report, _s, _m = _migration_run(num_qps, "sender", presetup=False,
-                                        msg_size=msg_size, depth=64)
+    specs = [TaskSpec(f"{_RUNNERS}.migration_run",
+                      dict(num_qps=num_qps, migrate="sender", presetup=False,
+                           msg_size=msg_size, depth=64),
+                      label=f"fig4:{num_qps}qp:{msg_size}B")
+             for num_qps, msg_size in points]
+    results, failed = _sweep(specs, args.jobs)
+    print(f"{'point':>10}{'theory_us':>12}{'wbs_us':>10}{'ratio':>8}")
+    for (num_qps, msg_size), result in zip(points, results):
+        if not result.ok:
+            continue
+        row = result.value
         theory = num_qps * 64 * msg_size * 8 / link_rate
         point = num_qps if args.sweep == "qps" else msg_size
         print(f"{point:>10}{theory * 1e6:>12.2f}"
-              f"{report.wbs_elapsed_s * 1e6:>10.2f}"
-              f"{report.wbs_elapsed_s / theory:>8.2f}")
+              f"{row['wbs_elapsed_s'] * 1e6:>10.2f}"
+              f"{row['wbs_elapsed_s'] / theory:>8.2f}")
+    return 1 if failed else 0
 
 
-def cmd_fig5(args) -> None:
-    report, sampler, migrate = _migration_run(
-        16, args.migrate, presetup=True, msg_size=2 * 1024 * 1024,
-        depth=8, sample_partner=True)
-    direction = "rx" if migrate == "sender" else "tx"
-    series = [getattr(s, f"{direction}_gbps") for s in sampler.samples]
-    print(f"partner {direction} throughput during migrate-{migrate} "
-          f"(5 ms samples, blackout {report.blackout_s * 1e3:.0f} ms):")
+def cmd_fig5(args) -> int:
+    specs = [TaskSpec(f"{_RUNNERS}.migration_run",
+                      dict(num_qps=16, migrate=args.migrate, presetup=True,
+                           msg_size=2 * 1024 * 1024, depth=8,
+                           sample_partner=True),
+                      label=f"fig5:{args.migrate}")]
+    results, failed = _sweep(specs, args.jobs)
+    if failed:
+        return 1
+    row = results[0].value
+    series = row["samples"]
+    print(f"partner {row['sample_direction']} throughput during "
+          f"migrate-{row['migrate']} "
+          f"(5 ms samples, blackout {row['blackout_s'] * 1e3:.0f} ms):")
     print(sparkline(series))
     print(f"peak {max(series):.1f} Gbps; "
-          f"suspension at t={report.t_suspend:.3f}s, "
-          f"resume at t={report.t_resume:.3f}s")
+          f"suspension at t={row['t_suspend']:.3f}s, "
+          f"resume at t={row['t_resume']:.3f}s")
+    return 0
 
 
-def cmd_table4(args) -> None:
-    from repro.core import MigrRdmaWorld as World
-
-    def measure(mode, virtualized):
-        tb = cluster.build(num_partners=1)
-        world = World(tb) if virtualized else None
-        tx = PerftestEndpoint(tb.source, world=world, mode=mode, msg_size=64,
-                              depth=16, sample_cycles=True)
-        rx = PerftestEndpoint(tb.partners[0], world=world, mode=mode,
-                              msg_size=64, depth=16)
-
-        def flow():
-            yield from tx.setup(qp_budget=1)
-            yield from rx.setup(qp_budget=1)
-            yield from connect_endpoints(tx, rx, qp_count=1)
-            if mode == "send":
-                rx.start_as_receiver()
-            tx.start_as_sender(iters=1024)
-            while tx.running:
-                yield tb.sim.timeout(50e-6)
-
-        tb.run(flow(), limit=60.0)
-        return tx.process.cpu.mean_sample_cycles(mode)
-
+def cmd_table4(args) -> int:
+    modes = ("send", "write", "read")
+    specs = [TaskSpec(f"{_RUNNERS}.table4_run",
+                      dict(mode=mode, virtualized=virtualized),
+                      label=f"table4:{mode}:{'virt' if virtualized else 'base'}")
+             for mode in modes for virtualized in (False, True)]
+    results, failed = _sweep(specs, args.jobs)
+    cells = {(r.value["mode"], r.value["virtualized"]): r.value["mean_cycles"]
+             for r in results if r.ok}
     print(f"{'op':<8}{'w/o virt':>10}{'with virt':>11}{'extra':>8}{'overhead':>10}")
-    for mode in ("send", "write", "read"):
-        base = measure(mode, False)
-        virt = measure(mode, True)
+    for mode in modes:
+        if (mode, False) not in cells or (mode, True) not in cells:
+            continue
+        base = cells[(mode, False)]
+        virt = cells[(mode, True)]
         print(f"{mode:<8}{base:>10.1f}{virt:>11.1f}{virt - base:>8.1f}"
               f"{(virt - base) / base:>9.1%}")
+    return 1 if failed else 0
 
 
-def cmd_fig6(args) -> None:
-    from repro.apps.hadoop_scenarios import fast_test_config, run_scenario
-
-    config = fast_test_config() if args.fast else None
+def cmd_fig6(args) -> int:
     event = 0.05 if args.fast else 3.0
-    base = None
+    scenarios = ("baseline", "migrrdma", "failover")
+    specs = [TaskSpec(f"{_RUNNERS}.fig6_run",
+                      dict(task=args.task, scenario=scenario, fast=args.fast,
+                           event_after_s=event),
+                      label=f"fig6:{args.task}:{scenario}")
+             for scenario in scenarios]
+    results, failed = _sweep(specs, args.jobs)
     print(f"{'strategy':<12}{'JCT_s':>8}{'tput_gbps':>11}")
-    for scenario in ("baseline", "migrrdma", "failover"):
-        outcome = run_scenario(args.task, scenario, config=config,
-                               event_after_s=event)
-        tput = (f"{outcome.tput_gbps():>11.2f}"
-                if args.task == "dfsio" else f"{'n/a':>11}")
-        print(f"{scenario:<12}{outcome.jct_s:>8.2f}{tput}")
+    for result in results:
+        if not result.ok:
+            continue
+        row = result.value
+        tput = (f"{row['tput_gbps']:>11.2f}"
+                if row["tput_gbps"] is not None else f"{'n/a':>11}")
+        print(f"{row['scenario']:<12}{row['jct_s']:>8.2f}{tput}")
+    return 1 if failed else 0
 
 
 def cmd_trace(args) -> None:
     """One traced migration: Chrome trace JSON + text timeline summary."""
+    from repro import cluster
+    from repro.apps.perftest import PerftestEndpoint, connect_endpoints
+    from repro.core import LiveMigration, MigrRdmaWorld
     from repro.obs import MetricsRegistry, Tracer, timeline_summary, write_chrome_trace
 
     tb = cluster.build(num_partners=1)
@@ -224,15 +218,20 @@ def cmd_trace(args) -> None:
           f"(load in https://ui.perfetto.dev)")
 
 
-def cmd_migros(args) -> None:
-    model = MigrOsModel(default_config())
+def cmd_migros(args) -> int:
+    specs = [TaskSpec(f"{_RUNNERS}.migros_run", dict(num_qps=num_qps),
+                      label=f"migros:{num_qps}qp")
+             for num_qps in args.qps]
+    results, failed = _sweep(specs, args.jobs)
     print(f"{'QPs':>6}{'migrrdma_ms':>13}{'migros_ms':>11}{'slowdown':>10}")
-    for num_qps in args.qps:
-        report, _s, _m = _migration_run(num_qps, "sender", presetup=True)
-        row = model.compare(report, num_qps)
-        print(f"{num_qps:>6}{row['migrrdma_blackout_s'] * 1e3:>13.1f}"
+    for result in results:
+        if not result.ok:
+            continue
+        row = result.value
+        print(f"{row['num_qps']:>6}{row['migrrdma_blackout_s'] * 1e3:>13.1f}"
               f"{row['migros_blackout_s'] * 1e3:>11.1f}"
               f"{row['migros_slowdown']:>9.2f}x")
+    return 1 if failed else 0
 
 
 def _csv_ints(text: str) -> List[int]:
@@ -243,7 +242,7 @@ def cmd_torture(args) -> int:
     from repro.chaos.torture import torture
 
     failures = torture(args.seed, args.runs, scenarios=args.scenario,
-                       shrink_failures=not args.no_shrink)
+                       shrink_failures=not args.no_shrink, jobs=args.jobs)
     if failures:
         print(f"{len(failures)} of {args.runs} runs violated invariants")
         return 1
@@ -256,24 +255,34 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
 
+    def add_jobs(p):
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for the sweep (0 = all cores)")
+
     p3 = sub.add_parser("fig3", help="blackout breakdown")
     p3.add_argument("--qps", type=_csv_ints, default=[16, 64])
     p3.add_argument("--migrate", choices=["sender", "receiver"], default="sender")
+    add_jobs(p3)
 
     p4 = sub.add_parser("fig4", help="wait-before-stop overhead")
     p4.add_argument("--sweep", choices=["qps", "msgsize"], default="msgsize")
+    add_jobs(p4)
 
     p5 = sub.add_parser("fig5", help="partner throughput timeline")
     p5.add_argument("--migrate", choices=["sender", "receiver"], default="sender")
+    add_jobs(p5)
 
-    sub.add_parser("table4", help="data-path virtualization overhead")
+    pt4 = sub.add_parser("table4", help="data-path virtualization overhead")
+    add_jobs(pt4)
 
     p6 = sub.add_parser("fig6", help="Hadoop maintenance scenarios")
     p6.add_argument("--task", choices=["dfsio", "estimatepi"], default="dfsio")
     p6.add_argument("--fast", action="store_true")
+    add_jobs(p6)
 
     pm = sub.add_parser("migros", help="MigrRDMA vs MigrOS comparison")
     pm.add_argument("--qps", type=_csv_ints, default=[16, 64])
+    add_jobs(pm)
 
     pt = sub.add_parser("trace", help="traced migration -> Perfetto JSON")
     pt.add_argument("--qps", type=int, default=8)
@@ -292,6 +301,7 @@ def main(argv=None) -> int:
                     default="all")
     px.add_argument("--no-shrink", action="store_true",
                     help="skip minimizing failing fault sets")
+    add_jobs(px)
 
     args = parser.parse_args(argv)
     if args.command == "list":

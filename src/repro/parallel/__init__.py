@@ -1,0 +1,21 @@
+"""Seed-deterministic parallel execution for sweeps.
+
+Every paper experiment (Figs. 3-6, Table 4), the MigrOS comparison and the
+chaos torture campaign are sweeps over *independent* simulations: each
+point builds its own :class:`~repro.cluster.Testbed` and never shares
+state with its neighbours.  This package exploits that by fanning the
+points out over a ``spawn`` worker pool while keeping the results — and
+the sha256 run digests — bit-identical to a sequential run.
+
+See DESIGN.md §10 for the determinism contract.
+"""
+
+from repro.parallel.engine import (
+    TaskResult,
+    TaskSpec,
+    derive_seed,
+    resolve_jobs,
+    run_tasks,
+)
+
+__all__ = ["TaskSpec", "TaskResult", "run_tasks", "resolve_jobs", "derive_seed"]

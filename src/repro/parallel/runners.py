@@ -1,0 +1,320 @@
+"""Picklable sweep runners: one module-level function per sweep point.
+
+These are the only entry points the parallel engine dispatches to.  They
+must stay importable from a spawn worker (no closures, no lambdas), take
+plain-data kwargs, and return plain data (dicts, or dataclasses made of
+plain fields) so the results pickle back to the parent.
+
+Each runner builds its own :class:`~repro.cluster.Testbed` — whose
+constructor restarts the global PID stream — so a point's result depends
+only on the runner's arguments, never on which process or in which order
+it ran.  That property is what makes ``--jobs N`` digests bit-identical
+to ``--jobs 1`` (pinned by ``tests/integration/test_parallel_determinism``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+
+def _setup_migration(num_qps: int, migrate: str, msg_size: int, depth: int,
+                     verify_content: bool = False):
+    """Build the testbed + connected endpoints for one migration point."""
+    from repro import cluster
+    from repro.apps.perftest import PerftestEndpoint, connect_endpoints
+    from repro.core import MigrRdmaWorld
+
+    tb = cluster.build(num_partners=1)
+    world = MigrRdmaWorld(tb)
+    kwargs = dict(world=world, mode="write", msg_size=msg_size, depth=depth,
+                  verify_content=verify_content)
+    sender = PerftestEndpoint(tb.source if migrate == "sender" else tb.partners[0],
+                              name="tx", **kwargs)
+    receiver = PerftestEndpoint(tb.partners[0] if migrate == "sender" else tb.source,
+                                name="rx", **kwargs)
+    mover = sender if migrate == "sender" else receiver
+
+    def setup():
+        yield from sender.setup(qp_budget=num_qps)
+        yield from receiver.setup(qp_budget=num_qps)
+        yield from connect_endpoints(sender, receiver, qp_count=num_qps)
+
+    tb.run(setup())
+    return tb, world, sender, receiver, mover
+
+
+def _run_migration_flow(tb, world, sender, receiver, mover, presetup: bool,
+                        sample_partner: bool = False):
+    """Start traffic, migrate the mover mid-stream, settle, stop."""
+    from repro.core import LiveMigration
+    from repro.metrics import ThroughputSampler
+
+    sampler = None
+    if sample_partner:
+        sampler = ThroughputSampler.for_nic(tb.sim, tb.partners[0].rnic, 5e-3)
+        sampler.start()
+    sender.start_as_sender()
+    reports = []
+
+    def flow():
+        yield tb.sim.timeout(0.25 if sample_partner else 2e-3)
+        migration = LiveMigration(world, mover.container, tb.destination,
+                                  presetup=presetup)
+        reports.append((yield from migration.run()))
+        yield tb.sim.timeout(0.3 if sample_partner else 2e-3)
+        sender.stop()
+        receiver.stop()
+        yield tb.sim.timeout(2e-3)
+
+    tb.run(flow(), limit=1200.0)
+    if sampler is not None:
+        sampler.stop()
+    assert sender.stats.clean, sender.stats.status_errors[:2]
+    return reports[0], sampler
+
+
+def _report_fields(report) -> Dict[str, object]:
+    return {
+        "phases": dict(report.breakdown.ordered()),
+        "blackout_s": report.blackout_s,
+        "wbs_elapsed_s": report.wbs_elapsed_s,
+        "t_suspend": report.t_suspend,
+        "t_resume": report.t_resume,
+    }
+
+
+def migration_run(num_qps: int, migrate: str, presetup: bool,
+                  msg_size: int = 65536, depth: int = 8,
+                  sample_partner: bool = False) -> Dict[str, object]:
+    """One migration point of Figs. 3/4/5: plain-data report summary."""
+    tb, world, sender, receiver, mover = _setup_migration(
+        num_qps, migrate, msg_size, depth)
+    report, sampler = _run_migration_flow(tb, world, sender, receiver, mover,
+                                          presetup, sample_partner)
+    out = {"num_qps": num_qps, "migrate": migrate, "presetup": presetup,
+           "sim_now": tb.sim.now,
+           "events_processed": tb.sim.events_processed}
+    out.update(_report_fields(report))
+    if sampler is not None:
+        direction = "rx" if migrate == "sender" else "tx"
+        out["sample_direction"] = direction
+        out["samples"] = [getattr(s, f"{direction}_gbps")
+                          for s in sampler.samples]
+    return out
+
+
+def migros_run(num_qps: int) -> Dict[str, object]:
+    """One row of the §6 MigrRDMA-vs-MigrOS comparison table."""
+    from repro.baselines import MigrOsModel
+    from repro.config import default_config
+
+    tb, world, sender, receiver, mover = _setup_migration(
+        num_qps, "sender", msg_size=65536, depth=8)
+    report, _sampler = _run_migration_flow(tb, world, sender, receiver, mover,
+                                           presetup=True)
+    row = MigrOsModel(default_config()).compare(report, num_qps)
+    row["sim_now"] = tb.sim.now
+    row["events_processed"] = tb.sim.events_processed
+    return row
+
+
+def table4_run(mode: str, virtualized: bool, iters: int = 1024,
+               msg_size: int = 64, depth: int = 16) -> Dict[str, object]:
+    """One cell of Table 4: mean data-path cycles for one verb mode."""
+    from repro import cluster
+    from repro.apps.perftest import PerftestEndpoint, connect_endpoints
+    from repro.core import MigrRdmaWorld
+
+    tb = cluster.build(num_partners=1)
+    world = MigrRdmaWorld(tb) if virtualized else None
+    tx = PerftestEndpoint(tb.source, world=world, mode=mode, msg_size=msg_size,
+                          depth=depth, sample_cycles=True)
+    rx = PerftestEndpoint(tb.partners[0], world=world, mode=mode,
+                          msg_size=msg_size, depth=depth)
+
+    def flow():
+        yield from tx.setup(qp_budget=1)
+        yield from rx.setup(qp_budget=1)
+        yield from connect_endpoints(tx, rx, qp_count=1)
+        if mode == "send":
+            rx.start_as_receiver()
+        tx.start_as_sender(iters=iters)
+        while tx.running:
+            yield tb.sim.timeout(50e-6)
+
+    tb.run(flow(), limit=60.0)
+    assert tx.stats.clean, tx.stats
+    return {"mode": mode, "virtualized": virtualized,
+            "mean_cycles": tx.process.cpu.mean_sample_cycles(mode),
+            "sim_now": tb.sim.now}
+
+
+def fig6_run(task: str, scenario: str, fast: bool,
+             event_after_s: float) -> Dict[str, object]:
+    """One Hadoop maintenance strategy of Fig. 6."""
+    from repro.apps.hadoop_scenarios import fast_test_config, run_scenario
+
+    config = fast_test_config() if fast else None
+    outcome = run_scenario(task, scenario, config=config,
+                           event_after_s=event_after_s)
+    out = {"task": task, "scenario": scenario, "jct_s": outcome.jct_s,
+           "tput_gbps": outcome.tput_gbps() if task == "dfsio" else None}
+    report = outcome.migration_report
+    if report is not None:
+        out.update(_report_fields(report))
+    return out
+
+
+def wbs_timeout_run(wbs_timeout_s: float, msg_size: int = 256 * 1024,
+                    depth: int = 64) -> Dict[str, object]:
+    """One wait-before-stop point under a bounded drain (spotty network)."""
+    from repro import cluster
+    from repro.apps.perftest import PerftestEndpoint, connect_endpoints
+    from repro.config import default_config
+    from repro.core import LiveMigration, MigrRdmaWorld
+
+    config = default_config()
+    config.migration.wbs_timeout_s = wbs_timeout_s
+    tb = cluster.build(config=config, num_partners=1)
+    world = MigrRdmaWorld(tb)
+    sender = PerftestEndpoint(tb.source, world=world, mode="write",
+                              msg_size=msg_size, depth=depth)
+    receiver = PerftestEndpoint(tb.partners[0], world=world, mode="write",
+                                msg_size=msg_size, depth=depth)
+
+    def setup():
+        yield from sender.setup(qp_budget=1)
+        yield from receiver.setup(qp_budget=1)
+        yield from connect_endpoints(sender, receiver, qp_count=1)
+
+    tb.run(setup())
+    sender.start_as_sender()
+
+    def scenario():
+        yield tb.sim.timeout(5e-3)
+        migration = LiveMigration(world, sender.container, tb.destination)
+        reports.append((yield from migration.run()))
+        yield tb.sim.timeout(30e-3)
+        sender.stop()
+        yield tb.sim.timeout(20e-3)
+
+    reports = []
+    tb.run(scenario(), limit=300.0)
+    report = reports[0]
+    conn = sender.connections[0]
+    return {
+        "wbs_timeout_s": wbs_timeout_s,
+        "inflight_bytes": depth * msg_size,
+        "link_rate_bps": tb.config.link.rate_bps,
+        "wbs_elapsed_s": report.wbs_elapsed_s,
+        "wbs_timed_out": report.wbs_timed_out,
+        "blackout_s": report.blackout_s,
+        "completed": sender.stats.completed,
+        "order_errors": len(sender.stats.order_errors),
+        "status_errors": len(sender.stats.status_errors),
+        "clean": sender.stats.clean,
+        "exactly_once": conn.completed == conn.next_seq - conn.outstanding,
+    }
+
+
+def torture_run(seed: int, index: int, scenarios: str = "all"):
+    """One torture case; returns the (picklable) TortureOutcome."""
+    from repro.chaos.torture import run_case, sample_case
+
+    return run_case(sample_case(seed, index, scenarios))
+
+
+def scale_run(num_qps: int, msg_size: int = 65536, depth: int = 8,
+              mode: str = "write", trigger_s: float = 2e-3,
+              presetup: bool = True) -> Dict[str, object]:
+    """Large-fanout migration with full invariant checking (BENCH_scale).
+
+    Mirrors the torture harness's perftest case — including the post-run
+    quiesce drain and all 8 chaos invariants — but fault-free and at
+    datacenter fan-out (256/1024 QPs), so the result certifies that the
+    indirection tables, WBS drain and go-back-N machinery stay *correct*
+    at scale while the wall-clock figures say whether they stay *fast*.
+    """
+    from repro import cluster
+    from repro.apps.perftest import PerftestEndpoint, connect_endpoints
+    from repro.chaos.invariants import DEFAULT_REGISTRY, InvariantContext, run_digest
+    from repro.chaos.torture import quiesce
+    from repro.core import LiveMigration, MigrRdmaWorld
+
+    wall_start = time.perf_counter()
+    tb = cluster.build(num_partners=1)
+    world = MigrRdmaWorld(tb)
+    kwargs = dict(world=world, mode=mode, msg_size=msg_size, depth=depth,
+                  verify_content=mode in ("write", "send"))
+    sender = PerftestEndpoint(tb.source, name="tx", **kwargs)
+    receiver = PerftestEndpoint(tb.partners[0], name="rx", **kwargs)
+
+    def setup():
+        yield from sender.setup(qp_budget=num_qps)
+        yield from receiver.setup(qp_budget=num_qps)
+        yield from connect_endpoints(sender, receiver, qp_count=num_qps)
+
+    tb.run(setup())
+    if mode == "send":
+        receiver.start_as_receiver()
+    sender.start_as_sender()
+    reports = []
+
+    def flow():
+        yield tb.sim.timeout(trigger_s)
+        migration = LiveMigration(world, sender.container, tb.destination,
+                                  presetup=presetup)
+        reports.append((yield from migration.run()))
+        yield tb.sim.timeout(3e-3)
+        yield from quiesce(tb, [sender, receiver])
+
+    tb.run(flow(), limit=1200.0)
+    ctx = InvariantContext(tb, world=world, endpoints=[sender, receiver],
+                           pairs=[(sender, receiver)], reports=reports)
+    inv = DEFAULT_REGISTRY.run(ctx)
+    wall_s = time.perf_counter() - wall_start
+    report = reports[0]
+    return {
+        "num_qps": num_qps,
+        "msg_size": msg_size,
+        "depth": depth,
+        "sim_now": tb.sim.now,
+        "events_processed": tb.sim.events_processed,
+        "events_cancelled": tb.sim.events_cancelled,
+        "wall_s": wall_s,
+        "events_per_sec": tb.sim.events_processed / wall_s if wall_s else 0.0,
+        "blackout_ms": report.blackout_s * 1e3,
+        "wbs_elapsed_us": report.wbs_elapsed_s * 1e6,
+        "invariants_checked": list(inv.checked),
+        "invariants_ok": inv.ok,
+        "violations": [f"{name}: {message}" for name, message in inv.violations],
+        "digest": run_digest(ctx, inv),
+    }
+
+
+def simperf_round(num_qps: int, msg_size: int = 65536,
+                  depth: int = 8) -> Dict[str, object]:
+    """One round of the simperf reference scenario (BENCH_simperf).
+
+    Times only the migration flow (setup excluded), matching what
+    ``BENCH_simperf.json`` has always recorded.
+    """
+    tb, world, sender, receiver, mover = _setup_migration(
+        num_qps, "sender", msg_size=msg_size, depth=depth)
+    wall_start = time.perf_counter()
+    report, _sampler = _run_migration_flow(tb, world, sender, receiver, mover,
+                                           presetup=True)
+    wall_s = time.perf_counter() - wall_start
+    if tb.sim.failed_processes:
+        raise AssertionError(
+            f"background failures: {tb.sim.failed_processes[:2]}")
+    return {
+        "num_qps": num_qps,
+        "sim_now": tb.sim.now,
+        "events_processed": tb.sim.events_processed,
+        "events_cancelled": tb.sim.events_cancelled,
+        "wall_s": wall_s,
+        "events_per_sec": tb.sim.events_processed / wall_s if wall_s else 0.0,
+        "blackout_ms": report.blackout_s * 1e3,
+    }

@@ -21,6 +21,7 @@ correctness checks.
 from __future__ import annotations
 
 import itertools
+import zlib
 from typing import Dict, Optional, Tuple
 
 from repro.config import Config, QPN_SPACE
@@ -77,7 +78,10 @@ class RNIC:
         self.name = f"rnic:{node.name}:{next(_nic_ids)}"
 
         self._qpn_iter = itertools.count(0x000100)
-        self._keys = KeyAllocator(salt=hash(node.name) & 0xFFFF)
+        # crc32, not hash(): key values must not depend on the interpreter's
+        # string-hash randomization, or parallel sweep workers would diverge
+        # from an in-process run of the same seed.
+        self._keys = KeyAllocator(salt=zlib.crc32(node.name.encode()) & 0xFFFF)
         self._mw_handles = itertools.count(1)
         self._dm_handles = itertools.count(1)
 
@@ -91,11 +95,6 @@ class RNIC:
         self._engines: Dict[int, object] = {}  # qpn -> engine Process
         self._kicks: Dict[int, Queue] = {}
         self._conn_state: Dict[Tuple[str, int], _ConnState] = {}
-        self._retry_counts: Dict[Tuple[int, int], int] = {}  # (qpn, ssn) -> retries
-        # (qpn, ssn) -> generation of the most recently armed RTO timer.
-        # Every (re)transmission arms a fresh timer; only the newest one may
-        # count a timeout, mirroring hardware's single ack-timer per request.
-        self._rexmit_gen: Dict[Tuple[int, int], int] = {}
 
         # Control-path activity window: while firmware commands execute,
         # data-path processing pays a contention penalty (Figure 5 brownout).
@@ -231,6 +230,9 @@ class RNIC:
             engine.interrupt("destroy_qp")
         self._kicks.pop(qp.qpn, None)
         self.qps.pop(qp.qpn, None)
+        for entry in qp.rto_entries.values():
+            self.sim.cancel(entry)
+        qp.rto_entries.clear()
 
     def alloc_mw(self, pd: PD):
         yield self.sim.timeout(self.config.rnic.alloc_mw_s)
@@ -471,29 +473,34 @@ class RNIC:
     # -- retransmission (go-back-N) ------------------------------------------
 
     def _arm_retransmit(self, qp: QP, ssn: int) -> None:
-        key = (qp.qpn, ssn)
-        gen = self._rexmit_gen.get(key, 0) + 1
-        self._rexmit_gen[key] = gen
-        self.sim.schedule(self._rto(qp), self._maybe_retransmit, qp, ssn, gen)
+        # One live ack-timer per request, like hardware: re-arming (each
+        # go-back-N resend) cancels the previous timer's heap entry, and the
+        # ACK path cancels it outright — so healthy high-QP runs never pay a
+        # heap dispatch for a timer whose request already completed.
+        entries = qp.rto_entries
+        old = entries.get(ssn)
+        if old is not None:
+            self.sim.cancel(old)
+        entries[ssn] = self.sim.schedule(self._rto(qp), self._rto_expired, qp, ssn)
+
+    def _cancel_retransmit(self, qp: QP, ssn: int) -> None:
+        entry = qp.rto_entries.pop(ssn, None)
+        if entry is not None:
+            self.sim.cancel(entry)
 
     def _rto(self, qp: QP) -> float:
         base = 4 * self.config.link.propagation_delay_s + 500e-6
         return base
 
-    def _maybe_retransmit(self, qp: QP, ssn: int, gen: int) -> None:
-        if gen != self._rexmit_gen.get((qp.qpn, ssn)):
-            # A later (re)transmission re-armed this ssn; a go-back-N burst
-            # leaves a trail of these stale timers and letting each of them
-            # count a retry would exhaust MAX_RETRIES on a live connection.
-            return
+    def _rto_expired(self, qp: QP, ssn: int) -> None:
+        qp.rto_entries.pop(ssn, None)
         if ssn not in qp.sq_inflight or qp.destroyed or qp.state is QPState.ERR:
             return
-        key = (qp.qpn, ssn)
-        retries = self._retry_counts.get(key, 0) + 1
+        retries = qp.retry_counts.get(ssn, 0) + 1
         if retries > MAX_RETRIES:
             self._fail_connection(qp, ssn, WCStatus.RETRY_EXC_ERR)
             return
-        self._retry_counts[key] = retries
+        qp.retry_counts[ssn] = retries
         self.sim.spawn(self._retransmit(qp, ssn), name=f"{self.name}:rexmit:{qp.qpn:#x}:{ssn}")
 
     def _retransmit(self, qp: QP, from_ssn: int):
@@ -531,8 +538,13 @@ class RNIC:
             self._complete_send(qp, wr, qp.next_ssn(), WCStatus.WR_FLUSH_ERR, force=True)
         for ssn in sorted(qp.sq_inflight):
             wr = qp.sq_inflight.pop(ssn)
-            self._rexmit_gen.pop((qp.qpn, ssn), None)
+            self._cancel_retransmit(qp, ssn)
             self._complete_send(qp, wr, ssn, WCStatus.WR_FLUSH_ERR, force=True)
+        for entry in qp.rto_entries.values():
+            self.sim.cancel(entry)
+        qp.rto_entries.clear()
+        qp.retry_counts.clear()
+        qp.rnr_retries.clear()
 
     # ------------------------------------------------------------------
     # Ingress
@@ -832,12 +844,11 @@ class RNIC:
             # retry counters of everything inflight so the RTO path does not
             # exhaust while the responder backs us off.
             self._reset_transport_retries(qp)
-            key = (qp.qpn, "rnr", ssn)
-            retries = self._retry_counts.get(key, 0) + 1
+            retries = qp.rnr_retries.get(ssn, 0) + 1
             if RNR_RETRY != 7 and retries > RNR_RETRY:
                 self._fail_connection(qp, ssn, WCStatus.RNR_RETRY_EXC_ERR)
                 return
-            self._retry_counts[key] = retries
+            qp.rnr_retries[ssn] = retries
             self.sim.schedule(
                 RNR_TIMER_S,
                 lambda: self.sim.spawn(self._retransmit(qp, ssn)),
@@ -850,8 +861,7 @@ class RNIC:
             raise ValueError(f"unknown NAK reason {reason!r}")
 
     def _reset_transport_retries(self, qp: QP) -> None:
-        for inflight_ssn in list(qp.sq_inflight):
-            self._retry_counts.pop((qp.qpn, inflight_ssn), None)
+        qp.retry_counts.clear()
 
     def _ack_progress(self, qp: QP, ssn: int, status: WCStatus, byte_len: int = 0) -> None:
         """Record an acknowledgement; complete WRs strictly in SSN order."""
@@ -866,8 +876,9 @@ class RNIC:
         while next_ssn in acked:
             wr, st, blen = acked.pop(next_ssn)
             qp.sq_inflight.pop(next_ssn, None)
-            self._retry_counts.pop((qp.qpn, next_ssn), None)
-            self._rexmit_gen.pop((qp.qpn, next_ssn), None)
+            qp.retry_counts.pop(next_ssn, None)
+            qp.rnr_retries.pop(next_ssn, None)
+            self._cancel_retransmit(qp, next_ssn)
             self._complete_send(qp, wr, next_ssn, st, byte_len=blen)
             next_ssn = qp.sq_completed
 

@@ -78,6 +78,15 @@ class QP:
         self.n_sent_two_sided = 0
         self.n_recv_completed = 0
 
+        # Requester-side retransmission state, managed by the NIC engine and
+        # keyed by SSN: the armed RTO timer's cancellable heap entry plus
+        # transport/RNR retry counts.  Kept per-QP so the hot ACK path works
+        # on small int-keyed dicts instead of a NIC-global (qpn, ssn)
+        # tuple-key map that churns at high fan-out.
+        self.rto_entries: Dict[int, list] = {}
+        self.retry_counts: Dict[int, int] = {}
+        self.rnr_retries: Dict[int, int] = {}
+
         self.destroyed = False
 
     # -- state machine --------------------------------------------------------

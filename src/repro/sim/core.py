@@ -11,11 +11,19 @@ Fast paths
 The kernel is the hot loop of every experiment, so it carries a few
 wall-clock optimisations that do not change simulated-time semantics:
 
+- Heap entries are mutable ``[time, sequence, callback, args]`` records so
+  a scheduled callback can be *cancelled in place* (lazy deletion):
+  :meth:`Simulator.cancel` nulls the callback slot and the run loops skip
+  dead entries without dispatching them or counting them in
+  ``events_processed``.  ``schedule`` returns the entry as the cancel
+  handle; :meth:`Timeout.cancel` deschedules a pending timeout the same
+  way.  This is what lets the RNIC retire retransmission timers on ACK
+  instead of letting a stale timer fire per transmitted WR.
 - ``Timeout`` objects are pooled on a per-simulator free list.  A timeout
   whose only consumer was a process ``yield`` (the overwhelmingly common
   case) is recycled as soon as its callback has run; timeouts that are
   stored, raced in conditions, or otherwise observed after firing are never
-  recycled.
+  recycled.  Cancelled timeouts are never recycled.
 - Callbacks added to an already-processed event dispatch immediately
   instead of round-tripping the heap through a closure, and a process that
   yields an already-processed event consumes it synchronously in a loop
@@ -111,7 +119,7 @@ class Event:
         self._value = value
         sim = self.sim
         sim._sequence = seq = sim._sequence + 1
-        heappush(sim._heap, (sim.now, seq, self._process_callbacks, ()))
+        heappush(sim._heap, [sim.now, seq, self._process_callbacks, ()])
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -123,7 +131,7 @@ class Event:
         self._exception = exception
         sim = self.sim
         sim._sequence = seq = sim._sequence + 1
-        heappush(sim._heap, (sim.now, seq, self._process_callbacks, ()))
+        heappush(sim._heap, [sim.now, seq, self._process_callbacks, ()])
         return self
 
     def _process_callbacks(self) -> None:
@@ -154,7 +162,7 @@ class Timeout(Event):
     plain ``yield`` — the only pattern the pool recycles — are safe.
     """
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay", "_entry")
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
@@ -167,7 +175,22 @@ class Timeout(Event):
         self._processed = False
         self.delay = delay
         sim._sequence = seq = sim._sequence + 1
-        heappush(sim._heap, (sim.now + delay, seq, self._process_callbacks, ()))
+        self._entry = [sim.now + delay, seq, self._process_callbacks, ()]
+        heappush(sim._heap, self._entry)
+
+    def cancel(self) -> bool:
+        """Deschedule a pending timeout (lazy heap deletion).
+
+        Returns ``True`` if the timeout was still scheduled; its callbacks
+        will never run and the dead heap entry is skipped for free by the
+        run loops.  Only legal for timers nobody is waiting on (a process
+        blocked on a cancelled timeout would never resume); the typical
+        caller is a retransmission/watchdog timer retired early because the
+        condition it guarded already resolved.
+        """
+        if self._processed:
+            return False
+        return self.sim.cancel(self._entry)
 
     def _process_callbacks(self) -> None:
         self._processed = True
@@ -268,8 +291,18 @@ class Process(Event):
                 return
             # Detach from whatever the process was waiting on; the stale
             # event callback is neutralised by the _waiting_on identity
-            # check in _on_event.
+            # check in _on_event.  For a timeout we go further and remove
+            # the callback eagerly — and if that orphans the timeout,
+            # cancel its heap entry so the stale wakeup is never dispatched.
+            waiting = self._waiting_on
             self._waiting_on = None
+            if waiting is not None and not waiting._processed:
+                try:
+                    waiting.callbacks.remove(self._on_event)
+                except ValueError:
+                    pass
+                if not waiting.callbacks and isinstance(waiting, Timeout):
+                    waiting.cancel()
             self._resume(None, Interrupt(cause))
 
         self.sim.schedule(0.0, deliver)
@@ -337,7 +370,11 @@ class Simulator:
         self._timeout_pool: List[Timeout] = []
         #: heap entries executed since construction — the numerator of the
         #: events/sec throughput metric tracked in BENCH_simperf.json.
+        #: Cancelled entries are skipped without being counted.
         self.events_processed = 0
+        #: entries descheduled via :meth:`cancel` / :meth:`Timeout.cancel` —
+        #: each one is a heap pop the run loops no longer dispatch.
+        self.events_cancelled = 0
         #: (name, exception) of processes that died with an unhandled error —
         #: useful for debugging background processes nobody awaits.
         self.failed_processes: List = []
@@ -349,12 +386,32 @@ class Simulator:
 
     # -- scheduling ------------------------------------------------------
 
-    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
-        """Run ``callback(*args)`` ``delay`` seconds from now."""
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> list:
+        """Run ``callback(*args)`` ``delay`` seconds from now.
+
+        Returns the heap entry, usable as a handle for :meth:`cancel`.
+        """
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
         self._sequence = seq = self._sequence + 1
-        heappush(self._heap, (self.now + delay, seq, callback, args))
+        entry = [self.now + delay, seq, callback, args]
+        heappush(self._heap, entry)
+        return entry
+
+    def cancel(self, entry: list) -> bool:
+        """Deschedule an entry returned by :meth:`schedule` (lazy deletion).
+
+        The entry stays in the heap but its callback slot is nulled; the
+        run loops pop and discard it without dispatching, advancing time,
+        or counting it in ``events_processed``.  Returns ``False`` if the
+        entry already ran or was already cancelled.
+        """
+        if entry[2] is None:
+            return False
+        entry[2] = None
+        entry[3] = ()
+        self.events_cancelled += 1
+        return True
 
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
         self.schedule(delay, event._process_callbacks)
@@ -374,7 +431,9 @@ class Simulator:
             timeout._triggered = True
             timeout._processed = False
             self._sequence = seq = self._sequence + 1
-            heappush(self._heap, (self.now + delay, seq, timeout._process_callbacks, ()))
+            timeout._entry = entry = [self.now + delay, seq,
+                                      timeout._process_callbacks, ()]
+            heappush(self._heap, entry)
             return timeout
         return Timeout(self, delay, value)
 
@@ -390,13 +449,19 @@ class Simulator:
     # -- execution -------------------------------------------------------
 
     def step(self) -> None:
-        """Process the single next scheduled callback."""
-        when, _seq, callback, args = heappop(self._heap)
+        """Process the single next scheduled live callback."""
+        while True:
+            entry = heappop(self._heap)
+            callback = entry[2]
+            if callback is not None:
+                break
+        when = entry[0]
         if when < self.now:
             raise SimulationError("event queue went backwards in time")
+        entry[2] = None
         self.now = when
         self.events_processed += 1
-        callback(*args)
+        callback(*entry[3])
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
             tracer._kernel_tick(self, callback)
@@ -413,10 +478,14 @@ class Simulator:
         tracing = tracer is not None and tracer.enabled
         if until is None:
             while heap:
-                when, _seq, callback, args = heappop(heap)
-                self.now = when
+                entry = heappop(heap)
+                callback = entry[2]
+                if callback is None:
+                    continue
+                entry[2] = None
+                self.now = entry[0]
                 self.events_processed += 1
-                callback(*args)
+                callback(*entry[3])
                 if tracing:
                     tracer._kernel_tick(self, callback)
             return self.now
@@ -424,10 +493,14 @@ class Simulator:
             if heap[0][0] > until:
                 self.now = until
                 return self.now
-            when, _seq, callback, args = heappop(heap)
-            self.now = when
+            entry = heappop(heap)
+            callback = entry[2]
+            if callback is None:
+                continue
+            entry[2] = None
+            self.now = entry[0]
             self.events_processed += 1
-            callback(*args)
+            callback(*entry[3])
             if tracing:
                 tracer._kernel_tick(self, callback)
         self.now = until
@@ -446,10 +519,14 @@ class Simulator:
                 raise SimulationError(f"deadlock: {process!r} never completed and the event queue drained")
             if heap[0][0] > limit:
                 raise SimulationError(f"time limit {limit} exceeded waiting for {process!r}")
-            when, _seq, callback, args = heappop(heap)
-            self.now = when
+            entry = heappop(heap)
+            callback = entry[2]
+            if callback is None:
+                continue
+            entry[2] = None
+            self.now = entry[0]
             self.events_processed += 1
-            callback(*args)
+            callback(*entry[3])
             if tracing:
                 tracer._kernel_tick(self, callback)
         return process.value

@@ -1,0 +1,45 @@
+"""Parallel-vs-sequential determinism pin (the contract that makes the
+sweep engine trustworthy): the same seeds through ``jobs=1`` and through
+a spawn worker pool must produce bit-identical per-run sha256 digests and
+identical simulated-time fields.
+
+Kept to two perftest cases so the spawn startup cost stays test-sized;
+``benchmarks/test_sweep.py`` runs the same contract at campaign size.
+"""
+
+from repro.chaos.torture import torture_sweep
+from repro.parallel import TaskSpec, run_tasks
+
+SEED = 7
+RUNS = 2
+
+
+def test_torture_digests_identical_across_jobs():
+    sequential = torture_sweep(SEED, RUNS, scenarios="perftest", jobs=1)
+    parallel = torture_sweep(SEED, RUNS, scenarios="perftest", jobs=2)
+
+    assert len(sequential) == len(parallel) == RUNS
+    assert [o.digest for o in sequential] == [o.digest for o in parallel]
+    assert [o.sim_now for o in sequential] == [o.sim_now for o in parallel]
+    assert ([o.events_processed for o in sequential]
+            == [o.events_processed for o in parallel])
+    assert [o.fault_stats for o in sequential] == [o.fault_stats for o in parallel]
+    # Digests are non-trivial (not colliding, not empty).
+    assert len({o.digest for o in sequential}) == RUNS
+
+
+def test_runner_simulated_time_fields_identical_across_jobs():
+    # The BENCH_* simulated-time fields must not depend on --jobs either.
+    specs = [TaskSpec("repro.parallel.runners.migration_run",
+                      dict(num_qps=qps, migrate="sender", presetup=True,
+                           msg_size=16384, depth=4),
+                      label=f"det:{qps}qp")
+             for qps in (1, 2)]
+    sequential = run_tasks(specs, jobs=1)
+    parallel = run_tasks(specs, jobs=2)
+    assert all(r.ok for r in sequential + parallel)
+    for seq, par in zip(sequential, parallel):
+        assert seq.value["sim_now"] == par.value["sim_now"]
+        assert seq.value["events_processed"] == par.value["events_processed"]
+        assert seq.value["blackout_s"] == par.value["blackout_s"]
+        assert seq.value["phases"] == par.value["phases"]

@@ -1,0 +1,76 @@
+"""Cancellable heap entries: ``Timeout.cancel()`` and the kernel-side
+dead-entry skip that stops stale RTO timers from burning heap pops."""
+
+from repro.sim import Simulator
+
+
+class TestScheduleCancel:
+    def test_cancelled_callback_never_fires(self):
+        sim = Simulator()
+        fired = []
+        entry = sim.schedule(1e-3, fired.append, "a")
+        sim.schedule(2e-3, fired.append, "b")
+        assert sim.cancel(entry) is True
+        sim.run(until=5e-3)
+        assert fired == ["b"]
+        assert sim.events_cancelled == 1
+        # The dead entry was skipped, not dispatched.
+        assert sim.events_processed == 1
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        entry = sim.schedule(1e-3, lambda: None)
+        assert sim.cancel(entry) is True
+        assert sim.cancel(entry) is False
+        assert sim.events_cancelled == 1
+
+    def test_cancel_after_fire_is_a_noop(self):
+        sim = Simulator()
+        fired = []
+        entry = sim.schedule(1e-3, fired.append, "x")
+        sim.run(until=2e-3)
+        assert fired == ["x"]
+        assert sim.cancel(entry) is False
+        assert sim.events_cancelled == 0
+
+    def test_time_still_advances_past_cancelled_entries(self):
+        sim = Simulator()
+        fired = []
+        entry = sim.schedule(1e-3, lambda: None)
+        sim.cancel(entry)
+        sim.schedule(3e-3, fired.append, "late")
+        sim.run(until=5e-3)
+        # The dead entry neither stalled the loop nor blocked later events.
+        assert fired == ["late"]
+        assert sim.events_processed == 1
+        assert sim.events_cancelled == 1
+
+
+class TestTimeoutCancel:
+    def test_cancelled_timeout_does_not_wake_process(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            timeout = sim.timeout(1e-3)
+            assert timeout.cancel() is True
+            log.append("cancelled")
+            yield sim.timeout(2e-3)
+            log.append("woke")
+
+        sim.spawn(proc())
+        sim.run(until=10e-3)
+        assert log == ["cancelled", "woke"]
+        assert sim.events_cancelled >= 1
+
+    def test_processed_timeout_cancel_returns_false(self):
+        sim = Simulator()
+
+        def proc():
+            timeout = sim.timeout(1e-3)
+            yield timeout
+            assert timeout.cancel() is False
+
+        process = sim.spawn(proc())
+        sim.run(until=5e-3)
+        assert not process.is_alive

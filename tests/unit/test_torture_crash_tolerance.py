@@ -1,0 +1,79 @@
+"""A crashing worker must not kill a torture campaign: the run is reported
+as a ``worker-crash`` failure with its seed and a shrunken reproducer, and
+the remaining runs still execute."""
+
+import pytest
+
+import repro.chaos.torture as torture_mod
+from repro.chaos.torture import (
+    TortureCase,
+    crash_outcome,
+    run_case_tolerant,
+    shrink,
+    torture,
+)
+
+
+@pytest.fixture
+def crashing_run_case(monkeypatch):
+    """Make run_case blow up for index 1 only; count real invocations."""
+    calls = []
+    real_run_case = torture_mod.run_case
+
+    def flaky(case):
+        calls.append(case.index)
+        if case.index == 1:
+            raise RuntimeError("worker exploded mid-case")
+        return real_run_case(case)
+
+    monkeypatch.setattr(torture_mod, "run_case", flaky)
+    return calls
+
+
+def test_campaign_survives_a_crashing_run(crashing_run_case, capsys):
+    logs = []
+    failures = torture(seed=7, runs=3, scenarios="perftest",
+                       shrink_failures=False, log=logs.append, jobs=1)
+    # Runs 0 and 2 executed despite run 1 crashing.
+    assert sorted(crashing_run_case) == [0, 1, 2]
+    assert len(failures) == 1
+    outcome = failures[0]
+    assert outcome.case.seed == 7
+    assert outcome.case.index == 1
+    assert not outcome.ok
+    assert outcome.report.violations[0][0] == "worker-crash"
+    assert any("CRASH" in line for line in logs)
+    assert any("RuntimeError" in line for line in logs)
+
+
+def test_crash_failure_produces_shrunken_reproducer(crashing_run_case):
+    logs = []
+    failures = torture(seed=7, runs=2, scenarios="perftest",
+                       shrink_failures=True, log=logs.append, jobs=1)
+    assert len(failures) == 1
+    reproducers = [line for line in logs if "minimal reproducer" in line]
+    assert len(reproducers) == 1
+    # The reproducer names the crashing run's identity.
+    assert "seed=7, index=1" in reproducers[0]
+
+
+def test_run_case_tolerant_converts_exception_to_failure(monkeypatch):
+    monkeypatch.setattr(torture_mod, "run_case",
+                        lambda case: (_ for _ in ()).throw(ValueError("boom")))
+    case = TortureCase(seed=1, index=0)
+    outcome = run_case_tolerant(case)
+    assert not outcome.ok
+    assert outcome.report.violations == [("worker-crash", "ValueError: boom")]
+    assert outcome.digest == ""
+
+
+def test_shrink_minimizes_a_crashing_fault_set():
+    # Every candidate crashes, so greedy shrinking drops all faults.
+    case = TortureCase(seed=1, index=0, faults=[
+        {"kind": "drop", "p": 0.05}, {"kind": "delay", "delay_s": 1e-6}])
+
+    def always_crash(candidate):
+        return crash_outcome(candidate, "RuntimeError: boom")
+
+    shrunk = shrink(case, run=always_crash)
+    assert shrunk.faults == []
