@@ -386,6 +386,19 @@ class PerftestEndpoint:
                 self.process.attach(self.server.sim.spawn(
                     self._receiver_loop(), name=f"{self.name}:rx"))
 
+    def on_rollback(self, container: Container) -> None:
+        """Called by the orchestrator when a migration rolls back after the
+        freeze: the container was thawed in place on the *source*, so only
+        the interrupted loops need respawning — no re-homing, the endpoint
+        never moved."""
+        if self.running:
+            if self._sender_active:
+                self.process.attach(self.server.sim.spawn(
+                    self._sender_loop(), name=f"{self.name}:tx"))
+            if self._receiver_active:
+                self.process.attach(self.server.sim.spawn(
+                    self._receiver_loop(), name=f"{self.name}:rx"))
+
     # ------------------------------------------------------------------
     # results
     # ------------------------------------------------------------------

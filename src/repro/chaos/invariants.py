@@ -19,6 +19,9 @@ adversity, and yields human-readable violation strings (nothing = pass):
 - ``blackout-accounting`` — MigrationReport timestamps monotonic, phase
   durations non-negative and summing within the blackout window, WBS
   wall/thread times consistent (§5.2's measurement integrity),
+- ``service-continuity`` — after the last migration attempt the workload
+  lives on exactly one server (source after rollback, destination after
+  commit), with no process left frozen (§4's all-or-nothing contract),
 - ``sim-health`` — no simulator process died with an exception,
 - ``fabric-accounting`` — every dropped message is accounted to exactly
   one cause (legacy loss or the fault plan).
@@ -206,8 +209,12 @@ def _check_blackout_accounting(ctx):
     for i, report in enumerate(ctx.reports):
         tag = f"migration#{i}"
         if report.aborted:
-            if report.t_suspend != 0.0:
+            # A transactional rollback may legitimately have entered (and
+            # unwound) wait-before-stop; a *voluntary* abort must not have.
+            if report.t_suspend != 0.0 and not report.rolled_back:
                 yield f"{tag}: aborted migration entered wait-before-stop"
+            if report.t_resume != 0.0:
+                yield f"{tag}: aborted migration resumed on the destination"
             continue
         marks = [("t_start", report.t_start),
                  ("t_presetup_done", report.t_presetup_done),
@@ -233,6 +240,39 @@ def _check_blackout_accounting(ctx):
                    f"exceeds the WBS wall window {report.wbs_wall_s}")
         if report.blackout_s > report.communication_blackout_s + eps:
             yield f"{tag}: service blackout exceeds communication blackout"
+
+
+@DEFAULT_REGISTRY.register("service-continuity")
+def _check_service_continuity(ctx):
+    """Exactly one server runs the workload after the dust settles.
+
+    A rolled-back migration must leave the container on the source,
+    unfrozen; a committed one must leave it adopted by the destination.
+    Either way the container exists on exactly one of the two servers and
+    none of its processes is still frozen (§4's all-or-nothing contract).
+    """
+    servers = {server.name: server for server in ctx.tb.servers}
+    last = {}
+    for report in ctx.reports:
+        if report.container_name:
+            last[report.container_name] = report
+    for name, report in last.items():
+        source = servers.get(report.source_name)
+        dest = servers.get(report.dest_name)
+        if source is None or dest is None:
+            continue
+        holder, other = (source, dest) if report.aborted else (dest, source)
+        container = holder.containers.get(name)
+        if container is None:
+            yield (f"container {name!r}: missing on {holder.name} after "
+                   f"{'rollback' if report.aborted else 'migration'}")
+        elif any(p.frozen for p in container.processes):
+            frozen = [p.name for p in container.processes if p.frozen]
+            yield (f"container {name!r}: processes still frozen on "
+                   f"{holder.name}: {', '.join(frozen)}")
+        if name in other.containers:
+            yield (f"container {name!r}: present on both {holder.name} "
+                   f"and {other.name} (split-brain)")
 
 
 @DEFAULT_REGISTRY.register("sim-health")
@@ -263,7 +303,8 @@ def run_digest(ctx: InvariantContext, report: InvariantReport) -> str:
                      f"{mreport.t_start!r},{mreport.t_suspend!r},"
                      f"{mreport.t_freeze!r},{mreport.t_resume!r},"
                      f"{mreport.t_end!r},{mreport.wbs_elapsed_s!r},"
-                     f"{mreport.aborted}")
+                     f"{mreport.aborted},{mreport.rolled_back},"
+                     f"{mreport.rolled_forward}")
     if ctx.plan is not None:
         parts.append(",".join(ctx.plan.boundaries_seen))
     return hashlib.sha256("\n".join(parts).encode()).hexdigest()

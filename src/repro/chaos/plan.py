@@ -34,7 +34,7 @@ from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional
 
 __all__ = ["FaultRule", "RnrStorm", "CqPressure", "QpErrorEvent",
-           "FaultStats", "FaultPlan"]
+           "DaemonCrash", "FaultStats", "FaultPlan"]
 
 
 @dataclass
@@ -58,6 +58,10 @@ class FaultRule:
     #: jitter bound for reordered deliveries and duplicate copies
     reorder_max_delay_s: float = 100e-6
     delay_s: float = 0.0
+    #: match only messages whose dict payload ``kind`` equals this value or
+    #: starts with ``"<value>_"`` — e.g. ``"rpc"`` scopes a rule to control
+    #: RPCs (``rpc_req``/``rpc_resp``) without touching bulk segments/acks.
+    payload_kind: Optional[str] = None
 
     def __post_init__(self):
         for name in ("drop_p", "dup_p", "reorder_p"):
@@ -79,6 +83,13 @@ class FaultRule:
         if self.protocol is not None:
             proto = message.protocol
             if proto != self.protocol and not proto.startswith(self.protocol + ":"):
+                return False
+        if self.payload_kind is not None:
+            payload = message.payload
+            kind = payload.get("kind") if isinstance(payload, dict) else None
+            if kind is None:
+                return False
+            if kind != self.payload_kind and not kind.startswith(self.payload_kind + "_"):
                 return False
         return True
 
@@ -114,6 +125,31 @@ class QpErrorEvent:
 
 
 @dataclass
+class DaemonCrash:
+    """When an armed migration crosses ``boundary``, the MigrRDMA daemon on
+    ``node`` crashes for ``down_s`` simulated seconds: every control-plane
+    request addressed to it is silently swallowed until it restarts.
+
+    ``node`` may be a server name or one of the aliases ``"dest"`` /
+    ``"source"`` (resolved against the armed migration).  Fires at most
+    once per plan (torture campaigns run one migration per plan).
+    """
+
+    node: str
+    boundary: str
+    down_s: float
+
+    def __post_init__(self):
+        from repro.core.orchestrator import PHASE_BOUNDARIES
+
+        if self.boundary not in PHASE_BOUNDARIES:
+            raise ValueError(f"unknown phase boundary {self.boundary!r} "
+                             f"(known: {', '.join(PHASE_BOUNDARIES)})")
+        if self.down_s <= 0:
+            raise ValueError(f"down_s must be positive, got {self.down_s}")
+
+
+@dataclass
 class FaultStats:
     """What the plan actually did (scraped into ``chaos.*`` metrics)."""
 
@@ -125,6 +161,7 @@ class FaultStats:
     cqe_delayed: int = 0
     qp_errors_fired: int = 0
     aborts_requested: int = 0
+    daemon_crashes: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -230,6 +267,8 @@ class FaultPlan:
         self.rnr_storms: List[RnrStorm] = []
         self.cq_pressures: List[CqPressure] = []
         self.qp_errors: List[QpErrorEvent] = []
+        self.daemon_crashes: List[DaemonCrash] = []
+        self._crashes_fired: set = set()
         self.abort_boundary: Optional[str] = None
         self.stats = FaultStats()
         #: phase boundaries observed on armed migrations, in order
@@ -267,6 +306,10 @@ class FaultPlan:
         self.qp_errors.append(QpErrorEvent(node, at_s))
         return self
 
+    def daemon_crash(self, node: str, boundary: str, down_s: float) -> "FaultPlan":
+        self.daemon_crashes.append(DaemonCrash(node, boundary, down_s))
+        return self
+
     def abort_at(self, boundary: str) -> "FaultPlan":
         from repro.core.orchestrator import PHASE_BOUNDARIES
 
@@ -286,7 +329,8 @@ class FaultPlan:
     @property
     def is_noop(self) -> bool:
         return not (self.rules or self.rnr_storms or self.cq_pressures
-                    or self.qp_errors or self.abort_boundary)
+                    or self.qp_errors or self.daemon_crashes
+                    or self.abort_boundary)
 
     @property
     def expects_status_errors(self) -> bool:
@@ -346,6 +390,16 @@ class FaultPlan:
         if boundary == self.abort_boundary:
             self.stats.aborts_requested += 1
             migration.abort()
+        for index, crash in enumerate(self.daemon_crashes):
+            if crash.boundary != boundary or index in self._crashes_fired:
+                continue
+            self._crashes_fired.add(index)
+            node = {"dest": migration.dest.name,
+                    "source": migration.source.name}.get(crash.node, crash.node)
+            control = migration.world.control
+            control.mark_daemon_down(node)
+            migration.sim.schedule(crash.down_s, control.mark_daemon_up, node)
+            self.stats.daemon_crashes += 1
 
     def _fire_qp_error(self, tb, node: str) -> None:
         from repro.rnic.constants import QPState, QPType
@@ -364,7 +418,8 @@ class FaultPlan:
     def __repr__(self) -> str:
         parts = [f"{len(self.rules)} rules", f"{len(self.rnr_storms)} storms",
                  f"{len(self.cq_pressures)} pressures",
-                 f"{len(self.qp_errors)} qp-errors"]
+                 f"{len(self.qp_errors)} qp-errors",
+                 f"{len(self.daemon_crashes)} daemon-crashes"]
         if self.abort_boundary:
             parts.append(f"abort@{self.abort_boundary}")
         return f"<FaultPlan {self.name} seed={self.seed}: {', '.join(parts)}>"

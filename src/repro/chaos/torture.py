@@ -80,8 +80,18 @@ def _case_rng(seed: int, index: int) -> random.Random:
     return random.Random(f"torture:{seed}:{index}")
 
 
-def sample_case(seed: int, index: int, scenarios: str = "all") -> TortureCase:
-    """Draw one (workload, fault plan, trigger time) tuple."""
+def sample_case(seed: int, index: int, scenarios: str = "all",
+                rpc_loss: Optional[float] = None,
+                kill_dest_at: Optional[str] = None) -> TortureCase:
+    """Draw one (workload, fault plan, trigger time) tuple.
+
+    ``rpc_loss`` adds a control-RPC drop rule (scoped to rpc payloads, so
+    bulk transfer segments are untouched) to every case; ``kill_dest_at``
+    adds a destination daemon crash at the named phase boundary (or a
+    per-case random one with ``"random"``) to perftest cases.  Both draw
+    from the case RNG *after* the base faults, so the base campaign is
+    unchanged when they are off.
+    """
     rng = _case_rng(seed, index)
     hadoop = (scenarios in ("all", "hadoop")
               and (scenarios == "hadoop" or index % HADOOP_EVERY == HADOOP_EVERY - 1))
@@ -90,6 +100,7 @@ def sample_case(seed: int, index: int, scenarios: str = "all") -> TortureCase:
         trigger_s = rng.uniform(0.02, 0.2)
         faults = _sample_faults(rng, nodes=["src", "dst", "partner0", "partner1"],
                                 window_hi=1.5, fabric_only=True)
+        faults += _resilience_faults(rng, rpc_loss, None)
         return TortureCase(seed, index, "hadoop", workload, faults, trigger_s)
     workload = {
         "qps": rng.choice([1, 2, 4]),
@@ -101,7 +112,28 @@ def sample_case(seed: int, index: int, scenarios: str = "all") -> TortureCase:
     }
     trigger_s = rng.uniform(0.5e-3, 3e-3)
     faults = _sample_faults(rng, nodes=["src", "dst", "partner0"], window_hi=0.12)
+    faults += _resilience_faults(rng, rpc_loss, kill_dest_at)
     return TortureCase(seed, index, "perftest", workload, faults, trigger_s)
+
+
+def _resilience_faults(rng: random.Random, rpc_loss: Optional[float],
+                       kill_dest_at: Optional[str]) -> List[Dict[str, object]]:
+    """Extra faults for recovery campaigns (``--rpc-loss``/``--kill-dest-at``)."""
+    faults: List[Dict[str, object]] = []
+    if rpc_loss:
+        faults.append({"kind": "drop", "p": rpc_loss, "protocol": "tcp",
+                       "payload_kind": "rpc", "start_s": 0.0, "end_s": 30.0})
+    if kill_dest_at:
+        if kill_dest_at == "random":
+            from repro.core.orchestrator import PHASE_BOUNDARIES
+
+            boundary = rng.choice(PHASE_BOUNDARIES)
+        else:
+            boundary = kill_dest_at
+        faults.append({"kind": "daemon_crash", "node": "dest",
+                       "boundary": boundary,
+                       "down_s": round(rng.uniform(5e-3, 2e-2), 6)})
+    return faults
 
 
 def _sample_faults(rng: random.Random, nodes: List[str], window_hi: float,
@@ -184,6 +216,9 @@ def _apply_fault(plan: FaultPlan, spec: Dict[str, object], offset_s: float) -> N
                          spec["extra_delay_s"])
     elif kind == "qp_error":
         plan.qp_error(spec["node"], spec["at_s"])
+    elif kind == "daemon_crash":
+        # Boundary-keyed, not time-keyed: no window shift.
+        plan.daemon_crash(spec["node"], spec["boundary"], spec["down_s"])
     elif kind == "abort":
         plan.abort_at(spec["boundary"])
     else:
@@ -375,7 +410,9 @@ def test_torture_seed{case.seed}_run{case.index}():
 
 def torture_sweep(seed: int, runs: int, scenarios: str = "all",
                   jobs: int = 1,
-                  log: Optional[Callable[[str], None]] = None
+                  log: Optional[Callable[[str], None]] = None,
+                  rpc_loss: Optional[float] = None,
+                  kill_dest_at: Optional[str] = None
                   ) -> List[TortureOutcome]:
     """Run the campaign through the parallel engine; returns one outcome
     per run, in run order.
@@ -389,7 +426,8 @@ def torture_sweep(seed: int, runs: int, scenarios: str = "all",
     from repro.parallel.engine import TaskSpec, run_tasks
 
     specs = [TaskSpec("repro.parallel.runners.torture_run",
-                      dict(seed=seed, index=index, scenarios=scenarios),
+                      dict(seed=seed, index=index, scenarios=scenarios,
+                           rpc_loss=rpc_loss, kill_dest_at=kill_dest_at),
                       label=f"torture:{seed}:{index}")
              for index in range(runs)]
 
@@ -412,7 +450,8 @@ def torture_sweep(seed: int, runs: int, scenarios: str = "all",
         if result.ok:
             outcomes.append(result.value)
         else:
-            case = sample_case(seed, result.index, scenarios)
+            case = sample_case(seed, result.index, scenarios,
+                               rpc_loss=rpc_loss, kill_dest_at=kill_dest_at)
             if log is not None:
                 log(f"run {result.index} harness crash:\n{result.error}")
             outcomes.append(crash_outcome(case, result.error_type or "crash"))
@@ -422,9 +461,12 @@ def torture_sweep(seed: int, runs: int, scenarios: str = "all",
 def torture(seed: int, runs: int, scenarios: str = "all",
             shrink_failures: bool = True,
             log: Callable[[str], None] = print,
-            jobs: int = 1) -> List[TortureOutcome]:
+            jobs: int = 1,
+            rpc_loss: Optional[float] = None,
+            kill_dest_at: Optional[str] = None) -> List[TortureOutcome]:
     """Run the sweep; returns the failing outcomes (empty = all clean)."""
-    outcomes = torture_sweep(seed, runs, scenarios, jobs=jobs, log=log)
+    outcomes = torture_sweep(seed, runs, scenarios, jobs=jobs, log=log,
+                             rpc_loss=rpc_loss, kill_dest_at=kill_dest_at)
     failures: List[TortureOutcome] = []
     for outcome in outcomes:
         if outcome.ok:

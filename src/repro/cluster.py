@@ -90,6 +90,12 @@ class AppProcess:
             process.interrupt("frozen")
         self._sim_processes.clear()
 
+    def unfreeze(self) -> None:
+        """Thaw a frozen process in place (migration rollback).  The
+        interrupted execution contexts are gone for good; the application's
+        ``on_rollback`` hook respawns its loops."""
+        self.frozen = False
+
     def __repr__(self) -> str:
         return f"<AppProcess {self.name} pid={self.pid}>"
 
@@ -128,6 +134,11 @@ class Container:
         """Stop every process (the final stop-and-copy seizure)."""
         for process in self.processes:
             process.freeze()
+
+    def unfreeze(self) -> None:
+        """Thaw every process in place (migration rollback on the source)."""
+        for process in self.processes:
+            process.unfreeze()
 
     def total_mapped_bytes(self) -> int:
         """Mapped virtual memory across all the container's processes."""

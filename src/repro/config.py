@@ -172,6 +172,16 @@ class MigrationConfig:
     # Partner notification control-plane message service time.
     notify_processing_s: float = 60e-6
 
+    # Fault tolerance (repro.resilience, DESIGN.md §11).  The failure
+    # detector leases every peer daemon for the migration's duration;
+    # liveness probes are zero-cost callbacks, so these knobs never move a
+    # fault-free timestamp.
+    heartbeat_interval_s: float = 1e-3
+    heartbeat_miss_threshold: int = 3
+    # Pre-commit waits give up (and roll back) after these deadlines.
+    presetup_deadline_s: float = 2.0
+    wbs_stuck_timeout_s: float = 5.0
+
 
 @dataclass
 class HadoopConfig:

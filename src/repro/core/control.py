@@ -17,13 +17,30 @@ between the *indirection layers* of the servers, carrying:
 
 Transport is the testbed's TCP channels, so control traffic pays real
 wire/contention time.
+
+Reliability (DESIGN.md §11): :meth:`ControlPlane.call` is best-effort —
+the channel retransmits, but there is no deadline and no replay safety.
+:meth:`ControlPlane.call_reliable` layers per-attempt deadlines, seeded
+exponential backoff and **idempotency tokens** on top: every logical
+invocation carries one token, and the dispatcher caches the first
+response per token, so an op whose response was lost is *replayed* (same
+response, handler not re-run) instead of re-executed.  A daemon marked
+down (:meth:`mark_daemon_down`, the chaos daemon-crash fault) silently
+swallows requests until marked up again.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+import itertools
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.cluster import Testbed
+from repro.resilience.errors import RpcTimeout
+from repro.resilience.rpc import (
+    DEFAULT_RETRY_POLICY,
+    ResilienceStats,
+    RetryPolicy,
+)
 
 RESOLVE_REQ_BYTES = 64
 RESOLVE_RESP_BYTES = 64
@@ -39,7 +56,17 @@ class ControlPlane:
         self.sim = tb.sim
         #: server name -> op name -> handler(request dict) -> result
         self._services: Dict[str, Dict[str, Callable[[dict], object]]] = {}
-        self._installed_channels = set()
+        #: (a, b) server-name pairs whose channel has our RPC handler.
+        #: Keyed on the *names*, not id(channel): a garbage-collected
+        #: channel's id() can be recycled by a brand-new channel object,
+        #: which would then silently never get the handler installed.
+        self._installed_channels: Set[Tuple[str, str]] = set()
+        #: daemons currently crashed (chaos daemon-crash fault window)
+        self._down: Set[str] = set()
+        #: idempotency-token -> cached (response, size) for replay
+        self._idem_cache: Dict[str, Tuple[dict, int]] = {}
+        self._idem_seq = itertools.count(1)
+        self.stats = ResilienceStats()
 
     # -- registration -----------------------------------------------------
 
@@ -50,43 +77,72 @@ class ControlPlane:
         """Negotiation probe (§6, hybrid case)."""
         return server_name in self._services
 
+    # -- daemon liveness ----------------------------------------------------
+
+    def mark_daemon_down(self, server_name: str) -> None:
+        """The daemon on ``server_name`` crashed: until it restarts, every
+        request addressed to it vanishes without a response."""
+        self._down.add(server_name)
+
+    def mark_daemon_up(self, server_name: str) -> None:
+        self._down.discard(server_name)
+
+    def daemon_down(self, server_name: str) -> bool:
+        return server_name in self._down
+
     # -- transport ----------------------------------------------------------
 
     def _channel_for(self, a: str, b: str):
         channel = self.tb.channel(a, b)
-        if id(channel) not in self._installed_channels:
+        if (a, b) not in self._installed_channels:
             channel.set_rpc_handler(self._dispatch)
-            self._installed_channels.add(id(channel))
+            self._installed_channels.add((a, b))
+            self._installed_channels.add((b, a))
         return channel
 
     def _dispatch(self, request: dict):
         dst = request["dst"]
+        if dst in self._down:
+            return None  # dead daemon: the channel drops the request
         op = request["op"]
+        token = request.get("idem")
+        if token is not None:
+            cached = self._idem_cache.get(token)
+            if cached is not None:
+                return cached  # replayed op: same response, handler not re-run
         handlers = self._services.get(dst)
         if handlers is None or op not in handlers:
             return ({"status": "unsupported"}, RESOLVE_RESP_BYTES)
         result = handlers[op](request)
         size = request.get("resp_size", RESOLVE_RESP_BYTES)
-        return ({"status": "ok", "result": result}, size)
+        response = ({"status": "ok", "result": result}, size)
+        if token is not None:
+            self._idem_cache[token] = response
+        return response
 
     def call(self, src: str, dst: str, op: str, request: Optional[dict] = None,
-             req_size: int = RESOLVE_REQ_BYTES):
+             req_size: int = RESOLVE_REQ_BYTES,
+             deadline_s: Optional[float] = None):
         """Generator: RPC from ``src``'s daemon to ``dst``'s daemon.
 
         Returns the handler result; raises LookupError for unsupported ops
-        (the negotiation signal for non-MigrRDMA peers).
+        (the negotiation signal for non-MigrRDMA peers), and
+        :class:`RpcTimeout` when ``deadline_s`` (absolute simulated time)
+        passes without a response.
         """
         payload = dict(request or {})
         payload["dst"] = dst
         payload["op"] = op
         channel = self._channel_for(src, dst)
-        response = yield from channel.rpc(payload, req_size=req_size, src=src)
+        response = yield from channel.rpc(payload, req_size=req_size, src=src,
+                                          deadline_s=deadline_s)
         if response["status"] == "unsupported":
             raise LookupError(f"{dst} does not support MigrRDMA op {op!r}")
         return response["result"]
 
     def call_local_or_remote(self, src: str, dst: str, op: str,
-                             request: Optional[dict] = None, req_size: int = RESOLVE_REQ_BYTES):
+                             request: Optional[dict] = None, req_size: int = RESOLVE_REQ_BYTES,
+                             deadline_s: Optional[float] = None):
         """Generator: like :meth:`call` but short-circuits same-server calls
         (a shared-memory read, not a network round trip)."""
         if src == dst:
@@ -95,5 +151,46 @@ class ControlPlane:
                 raise LookupError(f"{dst} does not support MigrRDMA op {op!r}")
             yield self.sim.timeout(0)  # still asynchronous, but free
             return handlers[op](dict(request or {}, dst=dst, op=op))
-        result = yield from self.call(src, dst, op, request, req_size)
+        result = yield from self.call(src, dst, op, request, req_size,
+                                      deadline_s=deadline_s)
         return result
+
+    def call_reliable(self, src: str, dst: str, op: str,
+                      request: Optional[dict] = None,
+                      req_size: int = RESOLVE_REQ_BYTES,
+                      policy: Optional[RetryPolicy] = None,
+                      rng=None):
+        """Generator: reliable RPC — deadlines, retries, replay safety.
+
+        One logical invocation: the request carries a fresh idempotency
+        token, each attempt is bounded by ``policy.attempt_timeout_s``,
+        timed-out attempts back off exponentially (jitter drawn from
+        ``rng``, the seeded campaign RNG on chaos runs) and the final
+        failure surfaces as :class:`RpcTimeout`.  Same-server calls short
+        circuit like :meth:`call_local_or_remote`.  On a fault-free run
+        the first attempt succeeds immediately: no RNG draw, no extra
+        yield, bit-identical timing to plain :meth:`call`.
+        """
+        if src == dst:
+            result = yield from self.call_local_or_remote(src, dst, op,
+                                                          request, req_size)
+            return result
+        policy = policy or DEFAULT_RETRY_POLICY
+        payload = dict(request or {})
+        payload["idem"] = f"{src}>{dst}:{op}#{next(self._idem_seq)}"
+        last_error: Optional[RpcTimeout] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                result = yield from self.call(
+                    src, dst, op, payload, req_size,
+                    deadline_s=self.sim.now + policy.attempt_timeout_s)
+                return result
+            except RpcTimeout as err:
+                self.stats.rpc_timeouts += 1
+                last_error = err
+                if attempt < policy.max_attempts:
+                    self.stats.rpc_retries += 1
+                    yield self.sim.timeout(policy.backoff_s(attempt, rng))
+        raise RpcTimeout(
+            f"op {op!r} to {dst} failed after {policy.max_attempts} attempts",
+            op=op, dst=dst, attempts=policy.max_attempts) from last_error

@@ -804,3 +804,24 @@ class MigrRdmaGuestLib(VerbsAPI):
         if span is not None:
             span.end(recvs=len(recvs), unacked=len(unacked),
                      intercepted=len(intercepted))
+
+    def rollback_suspension(self) -> None:
+        """The migration rolled back while this process was suspended: the
+        old physical QPs never went away, so the replay snapshots are stale
+        (those WRs are still live on the NIC and will complete normally)
+        and the intercepted sends can simply be posted in place.
+
+        The caller must clear the suspension flags first — the reposts
+        would be re-intercepted otherwise.  Idempotent: a second call finds
+        every buffer empty.
+        """
+        self.temp_qpn_map.clear()
+        for vqp in self.virt_qps.values():
+            vqp.unacked_for_replay = []
+            if not vqp.intercepted_sends:
+                continue
+            intercepted = list(vqp.intercepted_sends)
+            vqp.intercepted_sends.clear()
+            for wr in intercepted:
+                self.post_send(vqp, wr)
+            self.wrs_replayed += len(intercepted)

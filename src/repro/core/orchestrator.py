@@ -15,6 +15,20 @@ plots against.
 With ``presetup=False`` it degenerates into the comparison workflow of §4:
 a single RDMA dump at stop-and-copy and full RDMA restoration during the
 blackout (the RestoreRDMA phase).
+
+**Transactional execution (DESIGN.md §11).**  The run is a transaction
+journalled on :data:`PHASE_BOUNDARIES` with its commit point at
+``transferred`` (the final image is on the destination).  Control-plane
+RPCs go through ``ControlPlane.call_reliable`` (deadlines, idempotent
+retries) and a :class:`~repro.resilience.FailureDetector` leases every
+peer daemon for the migration's duration.  A typed
+:class:`~repro.resilience.MigrationError` raised *before* the commit
+point triggers an automatic rollback — the journal says how deep: undo
+pre-setup, and additionally lift the communication suspension and thaw
+the container if wait-before-stop or the freeze had begun.  The source
+keeps serving, every posted WR still completes.  *After* the commit
+point the workflow only rolls forward: completion waits out crashed
+peers instead of giving up, and the report records ``rolled_forward``.
 """
 
 from __future__ import annotations
@@ -27,6 +41,15 @@ from repro.core.plugin import MigrRdmaPlugin
 from repro.core.world import MigrRdmaWorld
 from repro.metrics import BlackoutBreakdown, PhaseTimer
 from repro.migration import CriuEngine, Runc
+from repro.resilience import (
+    DEFAULT_RETRY_POLICY,
+    PATIENT_RETRY_POLICY,
+    FailureDetector,
+    MigrationError,
+    PhaseJournal,
+    PresetupFailed,
+    WbsStuck,
+)
 
 #: Poll interval for cross-server status checks during migration.
 STATUS_POLL_S = 50e-6
@@ -51,6 +74,14 @@ PHASE_BOUNDARIES = (
     "resumed",           # apps running on the destination
 )
 
+#: The transaction's commit point: once the final image is on the
+#: destination, recovery rolls *forward* (finish the restore), never back.
+COMMIT_POINT = "transferred"
+
+#: Patient (post-commit) waits give wedged peers this long before
+#: concluding the world is unrecoverable and raising anyway.
+_PATIENT_DEADLINE_S = 60.0
+
 
 @dataclass
 class MigrationReport:
@@ -73,19 +104,48 @@ class MigrationReport:
     precopy_iterations: int = 0
     bytes_transferred: int = 0
     aborted: bool = False
+    #: Identity of the run (who migrated where), for post-mortems and the
+    #: service-continuity invariant.
+    container_name: str = ""
+    source_name: str = ""
+    dest_name: str = ""
+    #: True when the abort was executed as a transactional rollback (the
+    #: journal-driven undo, as opposed to never having started).
+    rolled_back: bool = False
+    #: True when a peer failure was detected after the commit point and
+    #: the migration completed anyway.
+    rolled_forward: bool = False
+    #: ``"ErrorType: message"`` of the MigrationError that triggered the
+    #: rollback; None for fault-free runs and voluntary aborts.
+    failure: Optional[str] = None
+    #: Supervisor attempt history (filled by MigrationSupervisor).
+    attempts: List[dict] = field(default_factory=list)
+    #: Phase boundaries crossed, in order (from the phase journal).
+    phases_reached: List[str] = field(default_factory=list)
 
     @property
-    def blackout_s(self) -> float:
-        """Service blackout: freeze → resume."""
+    def blackout_s(self) -> Optional[float]:
+        """Service blackout: freeze → resume.  ``None`` until the service
+        actually resumed on the destination (aborted/rolled-back runs
+        never did — there was no blackout, the source kept serving)."""
+        if self.t_resume == 0.0:
+            return None
         return self.t_resume - self.t_freeze
 
     @property
-    def communication_blackout_s(self) -> float:
-        """Suspension of communication → resume (includes WBS, §6)."""
+    def communication_blackout_s(self) -> Optional[float]:
+        """Suspension of communication → resume (includes WBS, §6).
+        ``None`` unless the run reached both marks."""
+        if self.t_resume == 0.0:
+            return None
         return self.t_resume - self.t_suspend
 
     @property
-    def total_s(self) -> float:
+    def total_s(self) -> Optional[float]:
+        """Start → end of the run, including rollback work; ``None`` until
+        the run has ended."""
+        if self.t_end == 0.0:
+            return None
         return self.t_end - self.t_start
 
 
@@ -113,6 +173,11 @@ class LiveMigration:
         self._abort_requested = False
         #: Optional fault plan (repro.chaos) notified at each boundary.
         self.chaos = None
+        self.journal = PhaseJournal(PHASE_BOUNDARIES, COMMIT_POINT)
+        self.detector: Optional[FailureDetector] = None
+        self._session = None
+        self._span = None
+        self._channel = None
 
     def abort(self) -> None:
         """Cancel the migration.  Honoured until wait-before-stop begins;
@@ -129,24 +194,75 @@ class LiveMigration:
         return tracer.lane("migration", "workflow")
 
     def _boundary(self, name: str) -> None:
-        """Synchronous notification hook at a named workflow point.  A fault
-        plan may request an abort here; whether it takes effect follows the
-        :meth:`abort` contract (ignored once wait-before-stop begins)."""
+        """Synchronous notification hook at a named workflow point: journal
+        the crossing, let a fault plan inject (abort/daemon crash), then —
+        before the commit point only — fail fast on any suspected peer."""
+        self.journal.record(name, self.sim.now)
         chaos = self.chaos
         if chaos is not None:
             chaos.on_phase_boundary(self, name)
+        if self.detector is not None and not self.journal.committed:
+            self.detector.check()
+
+    def _backoff_rng(self):
+        """Retry jitter comes from the chaos campaign RNG when one is armed,
+        keeping fault campaigns bit-deterministic; fault-free runs never
+        draw (no retries happen)."""
+        return self.chaos.rng if self.chaos is not None else None
 
     def run(self):
-        """Generator: execute the migration; returns the report."""
+        """Generator: execute the migration transaction; returns the report.
+
+        Never leaks a :class:`MigrationError`: pre-commit failures roll
+        back (``report.aborted`` + ``report.rolled_back``), post-commit
+        failures are waited out (``report.rolled_forward``).
+        """
         report = self.report
         report.t_start = self.sim.now
-        channel = self.tb.channel(self.source.name, self.dest.name)
+        report.container_name = self.container.name
+        report.source_name = self.source.name
+        report.dest_name = self.dest.name
+        self._channel = self.tb.channel(self.source.name, self.dest.name)
         partners = self.plugin.partner_map(self.container)
+        mig = self.config.migration
+        control = self.world.control
+        control.stats.migration_attempts += 1
+        self.detector = FailureDetector(
+            control, self.source.name, [self.dest.name, *partners],
+            interval_s=mig.heartbeat_interval_s,
+            miss_threshold=mig.heartbeat_miss_threshold,
+            poll_s=STATUS_POLL_S).start()
+        try:
+            try:
+                committed = yield from self._precopy_and_commit(partners)
+            except MigrationError as err:
+                report.failure = f"{type(err).__name__}: {err}"
+                yield from self._rollback_transaction(partners)
+                report.t_end = self.sim.now
+                return report
+            if not committed:
+                # Voluntary abort (self.abort()): same undo machinery, no
+                # failure to report.
+                yield from self._rollback_transaction(partners)
+                report.t_end = self.sim.now
+                return report
+            yield from self._complete(partners)
+            return report
+        finally:
+            self.detector.stop()
+            report.phases_reached = self.journal.phases_reached()
+
+    def _precopy_and_commit(self, partners: Dict[str, List[int]]):
+        """Generator: everything up to the commit point.  Returns True when
+        committed, False on a voluntary abort; raises MigrationError on a
+        detected failure (the caller rolls back)."""
+        report = self.report
+        channel = self._channel
+        mig = self.config.migration
 
         tracer = self.sim.tracer
-        span = None
         if tracer is not None and tracer.enabled:
-            span = tracer.begin_span(
+            self._span = tracer.begin_span(
                 self._trace_lane(tracer), "pre-copy",
                 {"container": self.container.name, "dest": self.dest.name,
                  "presetup": self.presetup})
@@ -156,13 +272,12 @@ class LiveMigration:
         yield from channel.transfer(image.size_bytes, src=self.source.name)
         report.bytes_transferred += image.size_bytes
         self._boundary("precopy-dumped")
-        session = yield from self.runc.partial_restore(image, self.dest)
+        self._session = yield from self.runc.partial_restore(image, self.dest)
         self._boundary("partial-restored")
 
         if self.presetup:
             yield from self._notify_partners(partners)
 
-        mig = self.config.migration
         for _ in range(self.precopy_iterations):
             if self._abort_requested:
                 break
@@ -171,7 +286,7 @@ class LiveMigration:
             diff = yield from self.runc.checkpoint_memory_only(self.container)
             yield from channel.transfer(diff.size_bytes, src=self.source.name)
             report.bytes_transferred += diff.size_bytes
-            yield from self.runc.apply_iteration(session, diff)
+            yield from self.runc.apply_iteration(self._session, diff)
             report.precopy_iterations += 1
         self._boundary("precopy-iterated")
 
@@ -179,30 +294,28 @@ class LiveMigration:
             yield from self._wait_presetup(partners)
         report.t_presetup_done = self.sim.now
         self._boundary("presetup-done")
-        if span is not None:
-            span.end(iterations=report.precopy_iterations,
-                     bytes=report.bytes_transferred,
-                     aborted=self._abort_requested)
-            span = None
+        if self._span is not None:
+            self._span.end(iterations=report.precopy_iterations,
+                           bytes=report.bytes_transferred,
+                           aborted=self._abort_requested)
+            self._span = None
 
         if self._abort_requested:
-            yield from self._rollback(session, partners)
-            report.aborted = True
-            report.t_end = self.sim.now
-            return report
+            return False
 
         # ---- Wait-before-stop (step 3) ------------------------------------
         report.t_suspend = self.sim.now
         self._boundary("wbs-entered")
         if tracer is not None and tracer.enabled:
-            span = tracer.begin_span(self._trace_lane(tracer), "wait-before-stop")
+            self._span = tracer.begin_span(self._trace_lane(tracer),
+                                           "wait-before-stop")
         self._suspend_source()
         yield from self._suspend_partners(partners)
         yield from self._wait_wbs(partners)
         self._boundary("wbs-drained")
-        if span is not None:
-            span.end()
-            span = None
+        if self._span is not None:
+            self._span.end()
+            self._span = None
         report.wbs_wall_s = self.sim.now - report.t_suspend
         report.wbs_elapsed_s = max(
             (lib.wbs.last_elapsed_s for lib in self._involved_libs(partners)),
@@ -213,7 +326,8 @@ class LiveMigration:
         # ---- Stop-and-copy (steps 4-6) -------------------------------------
         report.t_freeze = self.sim.now
         if tracer is not None and tracer.enabled:
-            span = tracer.begin_span(self._trace_lane(tracer), "stop-and-copy")
+            self._span = tracer.begin_span(self._trace_lane(tracer),
+                                           "stop-and-copy")
         self.runc.freeze(self.container)
         # Final drain + incomplete-WR snapshot (no-op unless WBS timed out).
         for lib in self._source_libs():
@@ -221,22 +335,32 @@ class LiveMigration:
         self._boundary("frozen")
 
         timer = PhaseTimer(self.sim, report.breakdown, "DumpRDMA").start()
-        _diff_info, rdma_bytes = yield from self.plugin.dump_rdma_diff(self.container)
+        _diff_info, self._rdma_bytes = yield from self.plugin.dump_rdma_diff(
+            self.container)
         timer.stop()
         self._boundary("rdma-dumped")
 
         timer = PhaseTimer(self.sim, report.breakdown, "DumpOthers").start()
-        final = yield from self.engine.checkpoint_memory(self.container, full=False)
+        self._final_image = yield from self.engine.checkpoint_memory(
+            self.container, full=False)
         yield from self.engine.checkpoint_others(self.container)
         timer.stop()
         self._boundary("others-dumped")
 
         timer = PhaseTimer(self.sim, report.breakdown, "Transfer").start()
-        yield from channel.transfer(final.size_bytes + rdma_bytes, src=self.source.name)
-        report.bytes_transferred += final.size_bytes + rdma_bytes
+        final_bytes = self._final_image.size_bytes + self._rdma_bytes
+        yield from channel.transfer(final_bytes, src=self.source.name)
+        report.bytes_transferred += final_bytes
         timer.stop()
         self._boundary("transferred")
+        return True
 
+    def _complete(self, partners: Dict[str, List[int]]):
+        """Generator: everything after the commit point.  Tolerates peer
+        failures (waits out restarts, skips dead partners) — the
+        destination holds the full image, so roll-forward always finishes."""
+        report = self.report
+        tracer = self.sim.tracer
         old_resources = self.plugin.snapshot_source_resources(self.container)
 
         if self.presetup:
@@ -244,53 +368,106 @@ class LiveMigration:
             switch = self.sim.spawn(self._switch_partners(partners),
                                     name="partner-switchover")
             timer = PhaseTimer(self.sim, report.breakdown, "FullRestore").start()
-            yield from self.runc.apply_iteration(session, final)
-            yield from self.runc.full_restore(session)  # plugin.post_restore inside
+            yield from self.runc.apply_iteration(self._session, self._final_image)
+            yield from self.runc.full_restore(self._session)  # plugin.post_restore inside
             yield switch
             timer.stop()
         else:
             timer = PhaseTimer(self.sim, report.breakdown, "FullRestore").start()
-            yield from self.runc.apply_iteration(session, final)
-            yield from self.runc.full_restore(session)
+            yield from self.runc.apply_iteration(self._session, self._final_image)
+            yield from self.runc.full_restore(self._session)
             timer.stop()
             timer = PhaseTimer(self.sim, report.breakdown, "RestoreRDMA").start()
-            yield from self.plugin.restore_rdma_full(session)
-            yield from self._notify_partners(partners)
-            yield from self._wait_presetup(partners)
-            yield from self.plugin.finalize_restore(session)
+            yield from self.plugin.restore_rdma_full(self._session)
+            yield from self._notify_partners(partners, patient=True)
+            yield from self._wait_presetup(partners, patient=True)
+            yield from self.plugin.finalize_restore(self._session)
             yield from self._switch_partners(partners)
             timer.stop()
         self._boundary("restored")
 
-        # ---- Resume (step 7) ---------------------------------------------------
-        restored = self.runc.exec_restore(session)
-        self._resume_apps(session, restored)
+        # ---- Resume (step 7) -----------------------------------------------
+        restored = self.runc.exec_restore(self._session)
+        self._resume_apps(self._session, restored)
         report.t_resume = self.sim.now
         self._boundary("resumed")
-        if span is not None:
-            span.end(blackout_s=report.blackout_s)
-            span = None
+        if self._span is not None:
+            self._span.end(blackout_s=report.blackout_s)
+            self._span = None
         if tracer is not None and tracer.enabled:
             tracer.instant(self._trace_lane(tracer), "resume",
                            {"blackout_s": report.blackout_s})
-            span = tracer.begin_span(self._trace_lane(tracer), "source-reclaim")
+            self._span = tracer.begin_span(self._trace_lane(tracer),
+                                           "source-reclaim")
 
-        # ---- Source reclamation (off the critical path) ------------------------
+        # ---- Source reclamation (off the critical path) ----------------------
         self.source.remove_container(self.container.name)
         yield from self.plugin.cleanup_source(old_resources)
+        if self._span is not None:
+            self._span.end()
+            self._span = None
+        report.t_end = self.sim.now
+        if self.detector is not None and self.detector.total_suspicions > 0:
+            # A peer died after the commit point and we finished anyway.
+            report.rolled_forward = True
+            self.world.control.stats.roll_forwards += 1
+
+    def _rollback_transaction(self, partners: Dict[str, List[int]]):
+        """Generator: journal-driven undo.  Idempotent and tolerant of dead
+        partners; afterwards the source serves exactly as before the
+        migration started and every intercepted WR has been reposted."""
+        report = self.report
+        report.aborted = True
+        report.rolled_back = True
+        control = self.world.control
+        control.stats.rollbacks += 1
+        if self._span is not None:
+            self._span.end(aborted=True)
+            self._span = None
+        tracer = self.sim.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            span = tracer.begin_span(
+                self._trace_lane(tracer), "rollback",
+                {"from": self.journal.last or "(start)",
+                 "failure": report.failure or "voluntary"})
+
+        if self.journal.reached("wbs-entered"):
+            # Communication was suspended: lift the suspension, rearm the
+            # WBS threads for a future attempt, and repost the sends that
+            # were intercepted meanwhile — their QPs never went away.
+            layer = self.world.layer(self.source.name)
+            for process in self.container.processes:
+                if process.pid in layer.processes:
+                    layer.clear_suspension(process.pid)
+            for lib in self._source_libs():
+                lib.wbs.reset()
+                lib.rollback_suspension()
+        if self.journal.reached("frozen"):
+            # The container was frozen after WBS: thaw it and restart the
+            # application loops on the *source* (the mirror image of
+            # on_migrated on the destination).
+            self.container.unfreeze()
+            for app in self.container.apps:
+                handler = getattr(app, "on_rollback", None)
+                if handler is not None:
+                    handler(self.container)
+
+        # Tell every partner to drop its replacement QPs and lift any
+        # suspension (idempotent; a dead partner has nothing to serve with
+        # its pre-setup anyway, so skipping it is safe).
+        for node in partners:
+            try:
+                yield from control.call_reliable(
+                    self.source.name, node, "cancel_presetup",
+                    {"service_id": self.container.container_id},
+                    rng=self._backoff_rng())
+            except MigrationError:
+                pass
+        if self._session is not None:
+            yield from self.plugin.rollback(self._session)
         if span is not None:
             span.end()
-        report.t_end = self.sim.now
-        return report
-
-    def _rollback(self, session, partners: Dict[str, List[int]]):
-        """Discard the destination-side pre-setup and tell partners to drop
-        their replacement QPs; the source keeps running untouched."""
-        for node in partners:
-            yield from self.world.control.call(
-                self.source.name, node, "cancel_presetup",
-                {"service_id": self.container.container_id})
-        yield from self.plugin.rollback(session)
 
     # ------------------------------------------------------------------
     # helpers
@@ -322,29 +499,59 @@ class LiveMigration:
                     libs.append(lib)
         return libs
 
-    def _notify_partners(self, partners: Dict[str, List[int]]):
+    def _notify_partners(self, partners: Dict[str, List[int]], patient: bool = False):
         from repro.core.control import NOTIFY_BASE_BYTES, NOTIFY_PER_QP_BYTES
 
+        policy = PATIENT_RETRY_POLICY if patient else DEFAULT_RETRY_POLICY
         for node, pqpns in partners.items():
-            yield from self.world.control.call(
-                self.source.name, node, "migrate_notify",
-                {"service_id": self.container.container_id, "dest": self.dest.name,
-                 "partner_pqpns": pqpns},
-                req_size=NOTIFY_BASE_BYTES + NOTIFY_PER_QP_BYTES * len(pqpns))
+            try:
+                yield from self.world.control.call_reliable(
+                    self.source.name, node, "migrate_notify",
+                    {"service_id": self.container.container_id,
+                     "dest": self.dest.name, "partner_pqpns": pqpns},
+                    req_size=NOTIFY_BASE_BYTES + NOTIFY_PER_QP_BYTES * len(pqpns),
+                    policy=policy, rng=self._backoff_rng())
+            except MigrationError:
+                if not patient:
+                    raise  # pre-commit: surface and roll back
 
-    def _wait_presetup(self, partners: Dict[str, List[int]]):
-        """Partner pre-setup and destination-side exchange both complete."""
+    def _wait_presetup(self, partners: Dict[str, List[int]], patient: bool = False):
+        """Partner pre-setup and destination-side exchange both complete.
+
+        Pre-commit callers get a :class:`PresetupFailed` when the deadline
+        passes or a :class:`PeerCrashed` the moment the detector suspects a
+        peer; ``patient=True`` (post-commit) callers wait restarts out and
+        skip partners that stay dead.
+        """
+        mig = self.config.migration
+        policy = PATIENT_RETRY_POLICY if patient else DEFAULT_RETRY_POLICY
+        budget = _PATIENT_DEADLINE_S if patient else mig.presetup_deadline_s
         for node in partners:
-            while True:
-                status = yield from self.world.control.call(
-                    self.source.name, node, "presetup_status",
-                    {"service_id": self.container.container_id})
-                if status["done"]:
-                    break
-                yield self.sim.timeout(STATUS_POLL_S)
+            deadline = self.sim.now + budget
+            try:
+                while True:
+                    status = yield from self.world.control.call_reliable(
+                        self.source.name, node, "presetup_status",
+                        {"service_id": self.container.container_id},
+                        policy=policy, rng=self._backoff_rng())
+                    if status["done"]:
+                        break
+                    yield from self.detector.poll_interval(
+                        deadline,
+                        PresetupFailed(f"partner {node} pre-setup did not "
+                                       f"finish within {budget}s"),
+                        patient=patient)
+            except MigrationError:
+                if not patient:
+                    raise
         agent = self.world.agent(self.dest.name)
+        deadline = self.sim.now + budget
         while not agent.plans_fully_connected(self.container.container_id):
-            yield self.sim.timeout(STATUS_POLL_S)
+            yield from self.detector.poll_interval(
+                deadline,
+                PresetupFailed(f"destination {self.dest.name} pre-setup "
+                               f"exchange did not finish within {budget}s"),
+                patient=patient)
 
     def _suspend_source(self) -> None:
         layer = self.world.layer(self.source.name)
@@ -357,44 +564,72 @@ class LiveMigration:
 
     def _suspend_partners(self, partners: Dict[str, List[int]]):
         for node in partners:
-            yield from self.world.control.call(
+            yield from self.world.control.call_reliable(
                 self.source.name, node, "suspend_for_service",
-                {"service_id": self.container.container_id})
+                {"service_id": self.container.container_id},
+                rng=self._backoff_rng())
 
     def _wait_wbs(self, partners: Dict[str, List[int]]):
         for lib in self._source_libs():
             if not lib.wbs.complete:
                 yield lib.wbs.done.wait()
+        stuck_s = self.config.migration.wbs_stuck_timeout_s
         for node in partners:
+            deadline = self.sim.now + stuck_s
             while True:
-                status = yield from self.world.control.call(
+                status = yield from self.world.control.call_reliable(
                     self.source.name, node, "wbs_status",
-                    {"service_id": self.container.container_id})
+                    {"service_id": self.container.container_id},
+                    rng=self._backoff_rng())
                 if status["done"]:
                     break
-                yield self.sim.timeout(STATUS_POLL_S)
+                yield from self.detector.poll_interval(
+                    deadline,
+                    WbsStuck(f"partner {node} wait-before-stop still "
+                             f"draining after {stuck_s}s"))
 
     def _switch_partners(self, partners: Dict[str, List[int]]):
+        """Post-commit partner switchover: reliable, patient, and tolerant —
+        a partner that stays dead is skipped (its daemon can re-sync from
+        the service directory when it comes back) rather than wedging the
+        committed migration."""
         tracer = self.sim.tracer
         span = None
         if tracer is not None and tracer.enabled:
             span = tracer.begin_span(
                 tracer.lane("migration", "partner-switchover"), "switchover",
                 {"partners": len(partners)})
+        unreachable = set()
         for node in partners:
-            yield from self.world.control.call(
-                self.source.name, node, "switchover_for_service",
-                {"service_id": self.container.container_id, "dest": self.dest.name})
+            try:
+                yield from self.world.control.call_reliable(
+                    self.source.name, node, "switchover_for_service",
+                    {"service_id": self.container.container_id,
+                     "dest": self.dest.name},
+                    policy=PATIENT_RETRY_POLICY, rng=self._backoff_rng())
+            except MigrationError:
+                unreachable.add(node)
         for node in partners:
-            while True:
-                status = yield from self.world.control.call(
-                    self.source.name, node, "switchover_status",
-                    {"service_id": self.container.container_id})
-                if status["done"]:
-                    break
-                yield self.sim.timeout(STATUS_POLL_S)
+            if node in unreachable:
+                continue
+            deadline = self.sim.now + _PATIENT_DEADLINE_S
+            try:
+                while True:
+                    status = yield from self.world.control.call_reliable(
+                        self.source.name, node, "switchover_status",
+                        {"service_id": self.container.container_id},
+                        policy=PATIENT_RETRY_POLICY, rng=self._backoff_rng())
+                    if status["done"]:
+                        break
+                    yield from self.detector.poll_interval(
+                        deadline,
+                        WbsStuck(f"partner {node} switchover still pending "
+                                 f"after {_PATIENT_DEADLINE_S}s"),
+                        patient=True)
+            except MigrationError:
+                unreachable.add(node)
         if span is not None:
-            span.end()
+            span.end(unreachable=len(unreachable))
 
     def _resume_apps(self, session, restored: Container) -> None:
         """Re-attach application objects to their restored processes."""

@@ -231,6 +231,17 @@ class MigrRdmaPlugin(CriuPlugin):
         dest_layer = self.world.layer(self.dest.name)
         agent = self.world.agent(self.dest.name)
         for pid, plan in list(self.plans.items()):
+            # The exchange rewired each connected record's ``conn`` to the
+            # partner's *new* pQPN (host_lib.connect_restored_qp) — but the
+            # record belongs to the still-live source state, and the cancel
+            # below destroys those partner QPs.  Point the records back at
+            # the original wiring (the exchange_index keys preserve it) so
+            # a retry advertises pQPNs that actually exist.
+            for (node, old_pqpn), rid in plan.exchange_index.items():
+                conn = plan.state.log.get(rid).args.get("conn")
+                if conn is not None:
+                    conn.remote_node = node
+                    conn.remote_pqpn = old_pqpn
             for rid, obj in list(plan.resources.items()):
                 if hasattr(obj, "qpn"):
                     dest_layer.qpn_table.delete(obj.qpn)

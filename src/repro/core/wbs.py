@@ -114,16 +114,27 @@ class WaitBeforeStop:
             return
 
     def _notify_n_sent(self, suspended: List["VirtQP"]):
-        """Tell each peer how many two-sided verbs we posted to it (§3.4)."""
+        """Tell each peer how many two-sided verbs we posted to it (§3.4).
+
+        Reliable and idempotent (a retried notification replays the cached
+        response instead of double-recording); a peer whose daemon stays
+        dead is skipped — its expected-count check degrades to the timeout
+        path, which :meth:`_drain` already handles.
+        """
+        from repro.resilience.errors import MigrationError
+
         for vqp in suspended:
             phys = vqp._phys
             if phys.n_sent_two_sided == 0 or vqp.remote_node is None:
                 continue
             if vqp.passthrough or vqp.remote_vqpn is None:
                 continue
-            yield from self.lib.control.call_local_or_remote(
-                self.lib.node_name, vqp.remote_node, "record_n_sent",
-                {"vqpn": vqp.remote_vqpn, "n_sent": phys.n_sent_two_sided})
+            try:
+                yield from self.lib.control.call_reliable(
+                    self.lib.node_name, vqp.remote_node, "record_n_sent",
+                    {"vqpn": vqp.remote_vqpn, "n_sent": phys.n_sent_two_sided})
+            except MigrationError:
+                continue
 
     def _drain(self, suspended: List["VirtQP"]):
         config = self.lib.process.cpu.config

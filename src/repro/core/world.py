@@ -23,7 +23,14 @@ from repro.core.guest_lib import MigrRdmaGuestLib, VirtQP
 from repro.core.host_lib import HostLib, RestorePlan
 from repro.core.indirection import IndirectionLayer
 from repro.core.records import QpConnectionMeta
+from repro.resilience.errors import RpcTimeout
 from repro.rnic import QPState
+
+#: Per-attempt deadline for a partner's calls to the migration
+#: destination.  Fault-free responses arrive well under this, so the bound
+#: never moves a timestamp; a crashed destination daemon turns the call
+#: into an RpcTimeout the retry loops absorb (re-checking cancellation).
+_EXCHANGE_DEADLINE_S = 5e-3
 
 
 class PartnerAgent:
@@ -122,10 +129,16 @@ class PartnerAgent:
             # Exchange new physical QPNs with the migration destination,
             # retrying until its restored QP exists.
             while service_id not in self.cancelled:
-                result = yield from self.world.control.call(
-                    self.server.name, dest, "presetup_exchange",
-                    {"service_id": service_id, "partner_node": self.server.name,
-                     "old_partner_pqpn": pqpn, "new_partner_pqpn": new_qp.qpn})
+                try:
+                    result = yield from self.world.control.call(
+                        self.server.name, dest, "presetup_exchange",
+                        {"service_id": service_id, "partner_node": self.server.name,
+                         "old_partner_pqpn": pqpn, "new_partner_pqpn": new_qp.qpn},
+                        deadline_s=self.sim.now + _EXCHANGE_DEADLINE_S)
+                except RpcTimeout:
+                    # Destination daemon unreachable: keep retrying until
+                    # it restarts or the migration cancels this pre-setup.
+                    continue
                 if not result.get("retry"):
                     break
                 yield self.sim.timeout(200e-6)
@@ -241,10 +254,15 @@ class PartnerAgent:
         """Re-warm the rkey cache from the destination in one batch RPC,
         retrying until the restored state is resolvable there."""
         for _attempt in range(200):
-            result = yield from self.world.control.call(
-                self.server.name, dest, "resolve_rkey_batch",
-                {"service_id": service_id, "vrkeys": vrkeys},
-                req_size=64 + 8 * len(vrkeys))
+            try:
+                result = yield from self.world.control.call(
+                    self.server.name, dest, "resolve_rkey_batch",
+                    {"service_id": service_id, "vrkeys": vrkeys},
+                    req_size=64 + 8 * len(vrkeys),
+                    deadline_s=self.sim.now + _EXCHANGE_DEADLINE_S)
+            except RpcTimeout:
+                yield self.sim.timeout(200e-6)
+                continue
             if result.get("found"):
                 for vrkey, physical in result["mappings"].items():
                     lib.rkey_cache.put(service_id, "rkey", vrkey, physical)
@@ -273,6 +291,16 @@ class PartnerAgent:
         for _lib, _vqp, new_qp in entries:
             self.layer.qpn_table.delete(new_qp.qpn)
             yield from self.server.rnic.destroy_qp(new_qp)
+        # Rollback after wait-before-stop began: release the suspension
+        # this migration put on local QPs, rearm the WBS threads and
+        # repost the sends intercepted meanwhile — the original QPs never
+        # went away.  ``pop`` makes a double-cancel a no-op.
+        for pid in self.suspended_pids.pop(service_id, []):
+            self.layer.clear_suspension(pid)
+            lib = self.world.lib_for_pid(pid)
+            if lib is not None:
+                lib.wbs.reset()
+                lib.rollback_suspension()
 
 
 class MigrRdmaWorld:

@@ -11,6 +11,7 @@ Usage::
     python -m repro.experiments migros [--qps 16,64,256] [--jobs 4]
     python -m repro.experiments trace [--qps 8] [--out trace.json]
     python -m repro.experiments torture [--seed 7] [--runs 25] [--jobs 4]
+    python -m repro.experiments recovery [--kill-dest-at precopy-dumped] [--jobs 2]
 
 Every sweep command takes ``--jobs N`` (0 = all cores) and fans its
 independent simulation points over a spawn worker pool via
@@ -242,11 +243,46 @@ def cmd_torture(args) -> int:
     from repro.chaos.torture import torture
 
     failures = torture(args.seed, args.runs, scenarios=args.scenario,
-                       shrink_failures=not args.no_shrink, jobs=args.jobs)
+                       shrink_failures=not args.no_shrink, jobs=args.jobs,
+                       rpc_loss=args.rpc_loss, kill_dest_at=args.kill_dest_at)
     if failures:
         print(f"{len(failures)} of {args.runs} runs violated invariants")
         return 1
     print(f"all {args.runs} runs clean (seed {args.seed})")
+    return 0
+
+
+def cmd_recovery(args) -> int:
+    specs = [TaskSpec(f"{_RUNNERS}.recovery_run",
+                      dict(seed=args.seed + i, rpc_loss=args.rpc_loss,
+                           kill_dest_at=args.kill_dest_at, down_s=args.down_s,
+                           budget=args.budget),
+                      label=f"recovery:{args.seed + i}")
+             for i in range(args.runs)]
+    results, failed = _sweep(specs, args.jobs)
+    print(f"{'seed':>6}{'attempts':>10}{'rollbacks':>11}{'rpc_retries':>13}"
+          f"{'blackout_ms':>13}{'invariants':>12}")
+    violations = 0
+    for result in results:
+        if not result.ok:
+            continue
+        row = result.value
+        if not row["invariants_ok"]:
+            violations += 1
+            for violation in row["violations"]:
+                print(f"  VIOLATION seed {row['seed']}: {violation}",
+                      file=sys.stderr)
+        blackout = (f"{row['blackout_ms']:>13.2f}"
+                    if row["blackout_ms"] is not None else f"{'n/a':>13}")
+        print(f"{row['seed']:>6}{len(row['attempts']):>10}"
+              f"{row['rolled_back_attempts']:>11}"
+              f"{row['resilience']['rpc_retries']:>13}"
+              f"{blackout}"
+              f"{'ok' if row['invariants_ok'] else 'VIOLATED':>12}")
+    if failed or violations:
+        return 1
+    print(f"all {args.runs} recovery runs clean "
+          f"(crash at {args.kill_dest_at}, rpc loss {args.rpc_loss})")
     return 0
 
 
@@ -301,12 +337,28 @@ def main(argv=None) -> int:
                     default="all")
     px.add_argument("--no-shrink", action="store_true",
                     help="skip minimizing failing fault sets")
+    px.add_argument("--rpc-loss", type=float, default=None, metavar="P",
+                    help="also drop control-plane RPC messages with prob. P")
+    px.add_argument("--kill-dest-at", default=None, metavar="BOUNDARY",
+                    help="crash the destination daemon at a phase boundary "
+                         "('random' = pick one per case)")
     add_jobs(px)
+
+    pr = sub.add_parser("recovery",
+                        help="supervised recovery from destination crashes")
+    pr.add_argument("--seed", type=int, default=0)
+    pr.add_argument("--runs", type=int, default=4)
+    pr.add_argument("--rpc-loss", type=float, default=0.05)
+    pr.add_argument("--kill-dest-at", default="precopy-dumped",
+                    metavar="BOUNDARY")
+    pr.add_argument("--down-s", type=float, default=18e-3)
+    pr.add_argument("--budget", type=int, default=3)
+    add_jobs(pr)
 
     args = parser.parse_args(argv)
     if args.command == "list":
         for name in ("fig3", "fig4", "fig5", "table4", "fig6", "migros",
-                     "trace", "torture"):
+                     "trace", "torture", "recovery"):
             print(name)
         return 0
     handler = globals()[f"cmd_{args.command}"]

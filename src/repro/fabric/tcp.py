@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, Optional, Set, Tuple
 
 from repro.fabric.message import Message
 from repro.fabric.network import Network
+from repro.resilience.errors import RpcTimeout
 from repro.sim import Event
 
 _channel_ids = itertools.count(1)
@@ -168,7 +169,13 @@ class TcpChannel:
         else:
             if self._rpc_handler is None:
                 raise LookupError(f"tcp channel {self.channel_id}: no RPC handler installed")
-            result, size = self._rpc_handler(payload["request"])
+            out = self._rpc_handler(payload["request"])
+            if out is None:
+                # The serving daemon is down: the request vanishes — no
+                # response, and no dedup-cache entry, so a retransmission
+                # after the daemon restarts is handled fresh.
+                return
+            result, size = out
             self._seen_rpcs[rpc_id] = (result, size)
         processing = self.network.config.migration.notify_processing_s
         self.sim.schedule(
@@ -179,11 +186,16 @@ class TcpChannel:
             ),
         )
 
-    def rpc(self, request: Any, req_size: int = RPC_HEADER_BYTES, src: Optional[str] = None):
+    def rpc(self, request: Any, req_size: int = RPC_HEADER_BYTES, src: Optional[str] = None,
+            deadline_s: Optional[float] = None):
         """Generator process: send a request, yield until the response.
 
         Retransmits on timeout (at-least-once; the server dedupes), returns
-        the response payload.
+        the response payload.  With ``deadline_s`` (absolute simulated
+        time) the call raises :class:`RpcTimeout` instead of retransmitting
+        past the deadline — the hook ``ControlPlane.call_reliable`` bounds
+        each attempt with.  A call whose response arrives before the
+        deadline behaves bit-identically to an unbounded one.
         """
         src = src or self.local
         dst = self.remote if src == self.local else self.local
@@ -192,10 +204,19 @@ class TcpChannel:
         self._rpc_waiters[rpc_id] = waiter
         attempts = 0
         while not waiter.triggered:
+            if deadline_s is not None and self.sim.now >= deadline_s:
+                self._rpc_waiters.pop(rpc_id, None)
+                raise RpcTimeout(
+                    f"rpc {rpc_id} on channel {self.channel_id} to {dst} "
+                    f"missed its deadline after {attempts} transmissions",
+                    dst=dst, attempts=attempts)
             attempts += 1
             if attempts > 64:
                 raise RuntimeError(f"rpc {rpc_id} on channel {self.channel_id} timed out repeatedly")
             self._send(src, dst, req_size, {"kind": "rpc_req", "rpc_id": rpc_id, "request": request})
-            timeout = self.sim.timeout(max(8 * self.rtt_s, 1e-3))
+            interval = max(8 * self.rtt_s, 1e-3)
+            if deadline_s is not None:
+                interval = min(interval, max(deadline_s - self.sim.now, 1e-9))
+            timeout = self.sim.timeout(interval)
             yield self.sim.any_of([waiter, timeout])
         return waiter.value

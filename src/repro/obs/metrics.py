@@ -191,6 +191,10 @@ class MetricsRegistry:
         if world is not None:
             for lib in world.all_libs():
                 self.scrape_lib(lib)
+            stats = getattr(world.control, "stats", None)
+            if stats is not None:
+                for name, value in stats.as_dict().items():
+                    self.gauge(f"resilience.{name}").set(value)
 
     def scrape_chaos(self, plan) -> None:
         """Injection counters from a :class:`repro.chaos.FaultPlan`."""

@@ -218,11 +218,99 @@ def wbs_timeout_run(wbs_timeout_s: float, msg_size: int = 256 * 1024,
     }
 
 
-def torture_run(seed: int, index: int, scenarios: str = "all"):
+def torture_run(seed: int, index: int, scenarios: str = "all",
+                rpc_loss: Optional[float] = None,
+                kill_dest_at: Optional[str] = None):
     """One torture case; returns the (picklable) TortureOutcome."""
     from repro.chaos.torture import run_case, sample_case
 
-    return run_case(sample_case(seed, index, scenarios))
+    return run_case(sample_case(seed, index, scenarios,
+                                rpc_loss=rpc_loss,
+                                kill_dest_at=kill_dest_at))
+
+
+def recovery_run(seed: int = 0, rpc_loss: float = 0.05,
+                 kill_dest_at: str = "precopy-dumped", down_s: float = 18e-3,
+                 budget: int = 3, num_qps: int = 2, msg_size: int = 65536,
+                 depth: int = 8) -> Dict[str, object]:
+    """One supervised-recovery point: crash the destination daemon at a
+    phase boundary, watch the failure detector force a rollback, and let
+    the :class:`~repro.resilience.MigrationSupervisor` retry until the
+    migration lands (BENCH-style recovery cell).
+
+    Control-plane RPCs are additionally dropped with probability
+    ``rpc_loss`` for the whole run, exercising the retry/backoff layer on
+    every attempt.  All chaos invariants (including ``service-continuity``)
+    run afterwards, and the digest pins ``--jobs N`` determinism.
+    """
+    from repro import cluster
+    from repro.apps.perftest import PerftestEndpoint, connect_endpoints
+    from repro.chaos import FaultPlan
+    from repro.chaos.invariants import DEFAULT_REGISTRY, InvariantContext, run_digest
+    from repro.chaos.torture import quiesce
+    from repro.core import MigrRdmaWorld
+    from repro.resilience import MigrationSupervisor
+
+    wall_start = time.perf_counter()
+    tb = cluster.build(num_partners=1)
+    world = MigrRdmaWorld(tb)
+    kwargs = dict(world=world, mode="write", msg_size=msg_size, depth=depth,
+                  verify_content=True)
+    sender = PerftestEndpoint(tb.source, name="tx", **kwargs)
+    receiver = PerftestEndpoint(tb.partners[0], name="rx", **kwargs)
+
+    def setup():
+        yield from sender.setup(qp_budget=num_qps)
+        yield from receiver.setup(qp_budget=num_qps)
+        yield from connect_endpoints(sender, receiver, qp_count=num_qps)
+
+    tb.run(setup())
+    plan = FaultPlan(seed=seed, name=f"recovery-{seed}")
+    if rpc_loss:
+        plan.drop(rpc_loss, protocol="tcp", payload_kind="rpc",
+                  start_s=0.0, end_s=30.0)
+    plan.daemon_crash("dest", kill_dest_at, down_s)
+    plan.install(tb)
+    sender.start_as_sender()
+    reports = []
+
+    def flow():
+        yield tb.sim.timeout(2e-3)
+        supervisor = MigrationSupervisor(world, sender.container,
+                                         tb.destination, budget=budget,
+                                         chaos=plan)
+        reports.append((yield from supervisor.run()))
+        yield tb.sim.timeout(3e-3)
+        yield from quiesce(tb, [sender, receiver])
+
+    tb.run(flow(), limit=1200.0)
+    ctx = InvariantContext(tb, world=world, endpoints=[sender, receiver],
+                           pairs=[(sender, receiver)], reports=reports,
+                           plan=plan)
+    inv = DEFAULT_REGISTRY.run(ctx)
+    wall_s = time.perf_counter() - wall_start
+    report = reports[0]
+    stats = world.control.stats
+    return {
+        "seed": seed,
+        "rpc_loss": rpc_loss,
+        "kill_dest_at": kill_dest_at,
+        "down_s": down_s,
+        "attempts": report.attempts,
+        "completed": not report.aborted,
+        "rolled_back_attempts": sum(1 for a in report.attempts
+                                    if a["rolled_back"]),
+        "rolled_forward": report.rolled_forward,
+        "blackout_ms": None if report.blackout_s is None
+        else report.blackout_s * 1e3,
+        "resilience": stats.as_dict(),
+        "sim_now": tb.sim.now,
+        "events_processed": tb.sim.events_processed,
+        "wall_s": wall_s,
+        "invariants_ok": inv.ok,
+        "violations": [f"{name}: {message}" for name, message in inv.violations],
+        "digest": run_digest(ctx, inv),
+    }
 
 
 def scale_run(num_qps: int, msg_size: int = 65536, depth: int = 8,

@@ -1,0 +1,45 @@
+"""repro.resilience — fault tolerance for the migration control plane.
+
+Four pieces (DESIGN.md §11):
+
+- :mod:`~repro.resilience.errors` — the typed :class:`MigrationError`
+  taxonomy every recoverable failure is raised as,
+- :mod:`~repro.resilience.rpc` — :class:`RetryPolicy` (deadlines, seeded
+  exponential backoff) and :class:`ResilienceStats`, backing
+  ``ControlPlane.call_reliable``,
+- :mod:`~repro.resilience.detector` — the simulated-time lease-based
+  :class:`FailureDetector`,
+- :mod:`~repro.resilience.supervisor` — :class:`MigrationSupervisor`,
+  retrying rolled-back migrations under a budget.
+
+``MigrationSupervisor`` is exported lazily: it imports the orchestrator,
+which itself imports this package, and the lazy hop breaks the cycle.
+"""
+
+from repro.resilience.detector import FailureDetector
+from repro.resilience.errors import (
+    MigrationError,
+    PeerCrashed,
+    PresetupFailed,
+    RpcTimeout,
+    WbsStuck,
+)
+from repro.resilience.journal import PhaseJournal
+from repro.resilience.rpc import (
+    DEFAULT_RETRY_POLICY,
+    PATIENT_RETRY_POLICY,
+    ResilienceStats,
+    RetryPolicy,
+)
+
+__all__ = ["MigrationError", "RpcTimeout", "PeerCrashed", "PresetupFailed",
+           "WbsStuck", "RetryPolicy", "ResilienceStats",
+           "DEFAULT_RETRY_POLICY", "PATIENT_RETRY_POLICY", "FailureDetector",
+           "PhaseJournal", "MigrationSupervisor"]
+
+
+def __getattr__(name):
+    if name == "MigrationSupervisor":
+        from repro.resilience.supervisor import MigrationSupervisor
+        return MigrationSupervisor
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

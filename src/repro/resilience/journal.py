@@ -1,0 +1,64 @@
+"""The migration phase journal: crash-consistent progress bookkeeping.
+
+:class:`PhaseJournal` records every named workflow boundary the
+orchestrator crosses (keyed on the 12 entries of
+:data:`repro.core.orchestrator.PHASE_BOUNDARIES`, passed in at
+construction to keep this module import-cycle-free).  One boundary is the
+**commit point** (``transferred``: the final image is on the
+destination); the transactional orchestrator consults the journal to pick
+the recovery direction —
+
+- failure with ``committed == False`` → roll *back*: the journal says
+  exactly how deep the rollback must go (was the source suspended? was it
+  frozen?),
+- failure with ``committed == True`` → roll *forward*: the destination
+  holds everything it needs, so completing the migration is always
+  possible and the source copy is disposable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["PhaseJournal"]
+
+
+class PhaseJournal:
+    """Ordered record of phase boundaries crossed by one migration run."""
+
+    def __init__(self, boundaries: Sequence[str], commit_point: str):
+        if commit_point not in boundaries:
+            raise ValueError(f"commit point {commit_point!r} is not a "
+                             f"known boundary")
+        self.boundaries = tuple(boundaries)
+        self.commit_point = commit_point
+        self._order = {name: i for i, name in enumerate(self.boundaries)}
+        #: (boundary, sim time) in crossing order
+        self.entries: List[Tuple[str, float]] = []
+        self._reached_index = -1
+
+    def record(self, boundary: str, now: float) -> None:
+        self.entries.append((boundary, now))
+        index = self._order.get(boundary)
+        if index is not None and index > self._reached_index:
+            self._reached_index = index
+
+    @property
+    def last(self) -> Optional[str]:
+        return self.entries[-1][0] if self.entries else None
+
+    @property
+    def committed(self) -> bool:
+        return self.reached(self.commit_point)
+
+    def reached(self, boundary: str) -> bool:
+        """Has the workflow crossed ``boundary`` (or any later one)?"""
+        return self._reached_index >= self._order[boundary]
+
+    def phases_reached(self) -> List[str]:
+        return [name for name, _t in self.entries]
+
+    def __repr__(self) -> str:
+        state = self.last or "(not started)"
+        return (f"<PhaseJournal at {state}"
+                f"{' committed' if self.committed else ''}>")

@@ -1,0 +1,78 @@
+"""Retry policy and resilience accounting for reliable control RPCs.
+
+:class:`RetryPolicy` describes how :meth:`ControlPlane.call_reliable`
+retries one logical operation: a per-attempt deadline plus seeded
+exponential backoff with jitter.  All backoff randomness is drawn from an
+RNG the *caller* provides (the chaos campaign RNG on faulted runs), never
+from the global stream, and a fault-free call makes zero draws — that is
+what keeps fault-free runs bit-identical to the pre-resilience seed.
+
+:class:`ResilienceStats` is the control plane's ledger of what the
+resilience machinery actually did; it is scraped into ``resilience.*``
+gauges alongside the ``chaos.*`` injection counters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields
+from typing import Dict, Optional
+
+__all__ = ["RetryPolicy", "ResilienceStats", "DEFAULT_RETRY_POLICY",
+           "PATIENT_RETRY_POLICY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How one logical control RPC is retried.
+
+    ``attempt_timeout_s`` bounds each attempt (the channel keeps its own
+    at-least-once retransmission *inside* the attempt); between attempts
+    the caller sleeps ``backoff_s(attempt, rng)`` of simulated time.
+    """
+
+    max_attempts: int = 5
+    attempt_timeout_s: float = 5e-3
+    backoff_base_s: float = 200e-6
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5e-3
+    #: fraction of each backoff randomized away (full jitter downward)
+    jitter: float = 0.5
+
+    def backoff_s(self, attempt: int, rng: Optional[random.Random]) -> float:
+        """Backoff before retry number ``attempt + 1`` (attempts count
+        from 1).  Deterministic given the RNG state."""
+        base = min(self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+                   self.backoff_max_s)
+        if rng is None or not self.jitter:
+            return base
+        return base * (1.0 - self.jitter * rng.random())
+
+
+#: Pre-commit default: fail fast enough that the orchestrator can still
+#: roll back a migration whose peer died (5 attempts x 5 ms + backoff).
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+#: Post-commit default: the migration must roll *forward*, so waiting out
+#: a transient daemon restart beats giving up.
+PATIENT_RETRY_POLICY = RetryPolicy(max_attempts=12, attempt_timeout_s=10e-3,
+                                   backoff_max_s=10e-3)
+
+
+@dataclass
+class ResilienceStats:
+    """What the resilience layer did (scraped into ``resilience.*``)."""
+
+    rpc_retries: int = 0
+    rpc_timeouts: int = 0
+    heartbeats_missed: int = 0
+    rollbacks: int = 0
+    roll_forwards: int = 0
+    migration_attempts: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def total(self) -> int:
+        return sum(self.as_dict().values())

@@ -1,0 +1,77 @@
+"""The migration supervisor: retry a failed migration under a budget.
+
+A rolled-back migration leaves the service running on the source (that is
+the rollback contract), so retrying is always safe.  The supervisor runs
+:class:`~repro.core.orchestrator.LiveMigration` attempts until one
+completes or the budget is spent, backing off between attempts (seeded
+jitter from the chaos campaign RNG when one is armed, so recovery
+campaigns stay bit-deterministic) and optionally rotating through
+alternate destinations from the testbed.  The attempt history lands in
+the final report's ``attempts`` field.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["MigrationSupervisor"]
+
+
+class MigrationSupervisor:
+    """Drives one container's migration to completion across attempts."""
+
+    def __init__(self, world, container, dest, alternates: Sequence = (),
+                 budget: int = 3, backoff_s: float = 2e-3,
+                 presetup: bool = True, chaos=None):
+        if budget < 1:
+            raise ValueError(f"attempt budget must be >= 1, got {budget}")
+        self.world = world
+        self.sim = world.sim
+        self.container = container
+        self.dests = [dest] + [d for d in alternates if d is not dest]
+        self.budget = budget
+        self.backoff_s = backoff_s
+        self.presetup = presetup
+        #: optional FaultPlan armed on every attempt's LiveMigration
+        self.chaos = chaos
+        self.attempts: list = []
+
+    def _backoff(self, attempt: int) -> float:
+        delay = self.backoff_s * (2.0 ** (attempt - 1))
+        rng = self.chaos.rng if self.chaos is not None else None
+        if rng is not None:
+            delay *= 1.0 - 0.5 * rng.random()
+        return delay
+
+    def run(self, migration_factory=None):
+        """Generator: migrate, retrying on rollback; returns the last
+        attempt's :class:`MigrationReport` with the attempt history
+        attached."""
+        from repro.core.orchestrator import LiveMigration
+
+        report = None
+        self.attempts = []
+        for attempt in range(1, self.budget + 1):
+            dest = self.dests[(attempt - 1) % len(self.dests)]
+            if migration_factory is not None:
+                migration = migration_factory(dest)
+            else:
+                migration = LiveMigration(self.world, self.container, dest,
+                                          presetup=self.presetup)
+            if self.chaos is not None:
+                self.chaos.arm(migration)
+            report = yield from migration.run()
+            self.attempts.append({
+                "attempt": attempt,
+                "dest": dest.name,
+                "aborted": report.aborted,
+                "rolled_back": report.rolled_back,
+                "failure": report.failure,
+                "t_end": report.t_end,
+            })
+            if not report.aborted:
+                break
+            if attempt < self.budget:
+                yield self.sim.timeout(self._backoff(attempt))
+        report.attempts = list(self.attempts)
+        return report

@@ -1,0 +1,153 @@
+"""Integration: the fault-tolerant migration control plane end to end.
+
+Destination daemon crashes at three depths — before anything destructive,
+after the source was suspended and frozen, and at the commit point — and
+in every case the service survives: pre-commit failures roll back to a
+running source and the supervisor's retry lands the migration; post-commit
+failures roll forward on the destination.  Every run finishes with the
+full chaos invariant registry (including ``service-continuity``) clean.
+"""
+
+from repro import cluster
+from repro.apps.perftest import PerftestEndpoint, connect_endpoints
+from repro.chaos import FaultPlan
+from repro.chaos.invariants import DEFAULT_REGISTRY, InvariantContext
+from repro.chaos.torture import quiesce
+from repro.core import MigrRdmaWorld
+from repro.resilience import MigrationSupervisor
+
+
+def build_workload(num_qps=2):
+    tb = cluster.build(num_partners=1)
+    world = MigrRdmaWorld(tb)
+    kwargs = dict(world=world, mode="write", msg_size=65536, depth=8,
+                  verify_content=True)
+    sender = PerftestEndpoint(tb.source, name="tx", **kwargs)
+    receiver = PerftestEndpoint(tb.partners[0], name="rx", **kwargs)
+
+    def setup():
+        yield from sender.setup(qp_budget=num_qps)
+        yield from receiver.setup(qp_budget=num_qps)
+        yield from connect_endpoints(sender, receiver, qp_count=num_qps)
+
+    tb.run(setup())
+    return tb, world, sender, receiver
+
+
+def supervise(tb, world, sender, receiver, plan, budget=3):
+    plan.install(tb)
+    sender.start_as_sender()
+    out = []
+
+    def flow():
+        yield tb.sim.timeout(2e-3)
+        supervisor = MigrationSupervisor(world, sender.container,
+                                         tb.destination, budget=budget,
+                                         chaos=plan)
+        out.append((yield from supervisor.run()))
+        yield tb.sim.timeout(3e-3)
+        yield from quiesce(tb, [sender, receiver])
+
+    tb.run(flow(), limit=1200.0)
+    ctx = InvariantContext(tb, world=world, endpoints=[sender, receiver],
+                           pairs=[(sender, receiver)], reports=out,
+                           plan=plan)
+    return out[0], DEFAULT_REGISTRY.run(ctx)
+
+
+class TestPreCommitRollback:
+    def test_early_crash_rolls_back_then_retry_succeeds(self):
+        tb, world, sender, receiver = build_workload()
+        plan = FaultPlan(seed=3).daemon_crash("dest", "precopy-dumped", 18e-3)
+        report, inv = supervise(tb, world, sender, receiver, plan)
+
+        assert inv.ok, inv.render()
+        assert not report.aborted  # the supervisor landed it
+        assert len(report.attempts) == 2
+        first, second = report.attempts
+        assert first["rolled_back"]
+        assert "PeerCrashed" in first["failure"]
+        assert not second["aborted"]
+        assert world.control.stats.rollbacks == 1
+        assert world.control.stats.migration_attempts == 2
+        # The workload ended up on the destination, running.
+        assert sender.container.name in tb.destination.containers
+        assert sender.container.name not in tb.source.containers
+
+    def test_deep_crash_unwinds_suspension_and_freeze(self):
+        """Failure detected after the source was suspended, drained and
+        frozen: rollback must thaw the container, clear suspension, replay
+        the intercepted sends in place, and leave the source serving."""
+        tb, world, sender, receiver = build_workload()
+        plan = FaultPlan(seed=4).daemon_crash("dest", "frozen", 30e-3)
+        report, inv = supervise(tb, world, sender, receiver, plan)
+
+        assert inv.ok, inv.render()
+        assert not report.aborted
+        first = report.attempts[0]
+        assert first["rolled_back"]
+        assert "PeerCrashed" in first["failure"]
+        # The rolled-back attempt reached deep into stop-and-copy.
+        assert world.control.stats.rollbacks == 1
+        assert sender.stats.clean, sender.stats.status_errors[:2]
+
+    def test_budget_exhaustion_leaves_source_serving(self):
+        """Crashes on every attempt: the supervisor gives up, but the
+        rollback contract holds — the source still runs the workload."""
+        tb, world, sender, receiver = build_workload()
+        plan = FaultPlan(seed=5)
+        for boundary in ("precopy-dumped",):
+            plan.daemon_crash("dest", boundary, 18e-3)
+        report, inv = supervise(tb, world, sender, receiver, plan, budget=1)
+
+        assert inv.ok, inv.render()
+        assert report.aborted
+        assert report.rolled_back
+        assert len(report.attempts) == 1
+        assert sender.container.name in tb.source.containers
+        assert sender.container.name not in tb.destination.containers
+        assert not any(p.frozen for p in sender.container.processes)
+        assert sender.stats.clean
+
+
+class TestPostCommitRollForward:
+    def test_commit_point_crash_rolls_forward(self):
+        """Once the final image is transferred the migration never rolls
+        back: the restore rides out the destination's restart."""
+        tb, world, sender, receiver = build_workload()
+        plan = FaultPlan(seed=6).daemon_crash("dest", "transferred", 15e-3)
+        report, inv = supervise(tb, world, sender, receiver, plan)
+
+        assert inv.ok, inv.render()
+        assert not report.aborted
+        assert len(report.attempts) == 1  # no retry needed
+        assert report.rolled_forward
+        assert world.control.stats.rollbacks == 0
+        assert world.control.stats.roll_forwards == 1
+        assert sender.container.name in tb.destination.containers
+
+
+class TestRollbackIdempotency:
+    def test_double_cancel_presetup_is_a_noop(self):
+        """cancel_presetup may be replayed (idempotency token lost, retried
+        rollback): the second cancel must find nothing left to undo."""
+        tb, world, sender, receiver = build_workload()
+        sender.start_as_sender()
+        service_id = sender.container.container_id
+
+        def flow():
+            yield from world.control.call_reliable(
+                "src", "partner0", "migrate_notify",
+                {"service_id": service_id, "dest": "dst",
+                 "partner_pqpns": []})
+            for _ in range(2):
+                result = yield from world.control.call_reliable(
+                    "src", "partner0", "cancel_presetup",
+                    {"service_id": service_id})
+                assert result["cancelled"]
+            sender.stop()
+            receiver.stop()
+            yield tb.sim.timeout(2e-3)
+
+        tb.run(flow(), limit=60.0)
+        assert not tb.sim.failed_processes

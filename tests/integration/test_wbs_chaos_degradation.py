@@ -1,0 +1,69 @@
+"""Integration: graceful degradation when wait-before-stop cannot drain.
+
+A chaos delay fault stretches every RDMA data message beyond the WBS
+bound, so the drain times out mid-migration.  The contract (§3.4 last ¶):
+the migration still completes, the incomplete-WR snapshot is replayed on
+the destination, and every protocol invariant — conservation, ordering,
+continuity — holds afterwards."""
+
+from repro import cluster
+from repro.apps.perftest import PerftestEndpoint, connect_endpoints
+from repro.chaos import FaultPlan
+from repro.chaos.invariants import DEFAULT_REGISTRY, InvariantContext
+from repro.chaos.torture import quiesce
+from repro.config import default_config
+from repro.core import LiveMigration, MigrRdmaWorld
+
+
+def test_wbs_timeout_under_chaos_delay_still_migrates_cleanly():
+    config = default_config()
+    # Every RDMA message (requests and acks both) is held 1.5 ms by the
+    # fault, so any WR inflight at suspension needs ~3 ms of RTT to drain —
+    # far past the 1 ms bound.  The delay is sized to stall, not sever:
+    # the go-back-N budget tolerates ~4.5 ms without an ack (RTO ~0.5 ms,
+    # 8 retries) before declaring RETRY_EXC_ERR, which would flush the
+    # send queue and make the drain trivially "complete".
+    config.migration.wbs_timeout_s = 1e-3
+    tb = cluster.build(config=config, num_partners=1)
+    world = MigrRdmaWorld(tb)
+    kwargs = dict(world=world, mode="write", msg_size=64 * 1024, depth=16,
+                  verify_content=True)
+    sender = PerftestEndpoint(tb.source, name="tx", **kwargs)
+    receiver = PerftestEndpoint(tb.partners[0], name="rx", **kwargs)
+
+    def setup():
+        yield from sender.setup(qp_budget=1)
+        yield from receiver.setup(qp_budget=1)
+        yield from connect_endpoints(sender, receiver, qp_count=1)
+
+    tb.run(setup())
+    plan = FaultPlan(seed=11, name="wbs-delay")
+    plan.delay(1.5e-3, protocol="rdma", start_s=0.0, end_s=0.25)
+    plan.install(tb)
+    sender.start_as_sender()
+    reports = []
+
+    def flow():
+        yield tb.sim.timeout(3e-3)
+        migration = LiveMigration(world, sender.container, tb.destination)
+        plan.arm(migration)
+        reports.append((yield from migration.run()))
+        yield tb.sim.timeout(0.3)  # outlive the fault window, then settle
+        yield from quiesce(tb, [sender, receiver])
+
+    tb.run(flow(), limit=1200.0)
+    report = reports[0]
+
+    assert report.wbs_timed_out
+    assert report.wbs_elapsed_s >= config.migration.wbs_timeout_s
+    assert not report.aborted  # degradation, not failure
+    # The posted-but-undrained WRs were snapshotted and replayed.
+    assert sum(lib.wrs_replayed for lib in world.all_libs()) > 0
+    assert sender.stats.clean, (sender.stats.order_errors[:2]
+                                or sender.stats.status_errors[:2])
+
+    ctx = InvariantContext(tb, world=world, endpoints=[sender, receiver],
+                           pairs=[(sender, receiver)], reports=reports,
+                           plan=plan)
+    inv = DEFAULT_REGISTRY.run(ctx)
+    assert inv.ok, inv.render()

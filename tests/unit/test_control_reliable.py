@@ -1,0 +1,179 @@
+"""Unit tests for the reliable control-RPC layer: channel-handler keying,
+idempotency dedup, per-attempt deadlines, retry/backoff, daemon liveness."""
+
+import random
+
+import pytest
+
+from repro import cluster
+from repro.core import MigrRdmaWorld
+from repro.resilience import RetryPolicy, RpcTimeout
+
+FAST = RetryPolicy(max_attempts=3, attempt_timeout_s=2e-3,
+                   backoff_base_s=100e-6, backoff_max_s=1e-3)
+
+
+def build():
+    tb = cluster.build(num_partners=1)
+    world = MigrRdmaWorld(tb)
+    return tb, world, world.control
+
+
+class TestChannelKeying:
+    def test_installed_channels_keyed_on_server_names(self):
+        """Regression: the install-once bookkeeping used to key on
+        id(channel); a recycled id could then leave a fresh channel without
+        the RPC handler.  Keys must be (name, name) pairs, both ways."""
+        tb, world, control = build()
+
+        def driver():
+            yield from control.call("src", "dst", "definitely-not-an-op")
+
+        with pytest.raises(LookupError):
+            tb.run(driver())  # negotiation miss; the install still happened
+        assert ("src", "dst") in control._installed_channels
+        assert ("dst", "src") in control._installed_channels
+        for key in control._installed_channels:
+            assert isinstance(key, tuple)
+            assert all(isinstance(part, str) for part in key)
+
+    def test_both_directions_share_one_install(self):
+        tb, world, control = build()
+        control.register("dst", "ping", lambda req: {"pong": True})
+        control.register("src", "ping", lambda req: {"pong": True})
+
+        def driver():
+            yield from control.call("src", "dst", "ping")
+            yield from control.call("dst", "src", "ping")
+
+        tb.run(driver())
+        channel = tb.channel("src", "dst")
+        assert channel._rpc_handler == control._dispatch
+
+
+class TestIdempotency:
+    def test_duplicate_request_replays_cached_response(self):
+        tb, world, control = build()
+        calls = []
+        control.register("dst", "bump", lambda req: calls.append(1) or {"n": len(calls)})
+        request = {"dst": "dst", "op": "bump", "idem": "src>dst:bump#1"}
+        first = control._dispatch(dict(request))
+        second = control._dispatch(dict(request))
+        assert len(calls) == 1  # handler ran once
+        assert first == second  # byte-identical replay
+
+    def test_untokened_requests_are_not_deduped(self):
+        tb, world, control = build()
+        calls = []
+        control.register("dst", "bump", lambda req: calls.append(1) or {})
+        request = {"dst": "dst", "op": "bump"}
+        control._dispatch(dict(request))
+        control._dispatch(dict(request))
+        assert len(calls) == 2
+
+    def test_call_reliable_stamps_fresh_tokens(self):
+        tb, world, control = build()
+        seen = []
+        control.register("dst", "probe", lambda req: seen.append(req.get("idem")) or {})
+
+        def driver():
+            yield from control.call_reliable("src", "dst", "probe")
+            yield from control.call_reliable("src", "dst", "probe")
+
+        tb.run(driver())
+        assert len(seen) == 2
+        assert None not in seen
+        assert seen[0] != seen[1]  # distinct logical calls never collide
+
+
+class TestReliableCall:
+    def test_fault_free_costs_the_same_time_as_plain_call(self):
+        tb, world, control = build()
+        control.register("dst", "ping", lambda req: {"pong": True})
+
+        def timed(op_gen):
+            start = tb.sim.now
+            yield from op_gen
+            return tb.sim.now - start
+
+        plain = tb.run(timed(control.call("src", "dst", "ping")))
+        reliable = tb.run(timed(control.call_reliable("src", "dst", "ping")))
+        assert reliable == plain  # timestamp-neutral when nothing fails
+
+    def test_retries_through_a_daemon_restart(self):
+        tb, world, control = build()
+        control.register("dst", "ping", lambda req: {"pong": True})
+        control.mark_daemon_down("dst")
+        tb.sim.schedule(5e-3, control.mark_daemon_up, "dst")
+
+        def driver():
+            result = yield from control.call_reliable(
+                "src", "dst", "ping", policy=FAST, rng=random.Random(1))
+            return result
+
+        result = tb.run(driver())
+        assert result == {"pong": True}
+        assert control.stats.rpc_timeouts >= 1
+        assert control.stats.rpc_retries >= 1
+
+    def test_exhausted_attempts_raise_with_context(self):
+        tb, world, control = build()
+        control.register("dst", "ping", lambda req: {"pong": True})
+        control.mark_daemon_down("dst")  # never comes back
+
+        def driver():
+            yield from control.call_reliable("src", "dst", "ping",
+                                             policy=FAST, rng=random.Random(1))
+
+        with pytest.raises(RpcTimeout) as info:
+            tb.run(driver())
+        assert info.value.op == "ping"
+        assert info.value.dst == "dst"
+        assert info.value.attempts == FAST.max_attempts
+
+    def test_backoff_draws_only_from_the_provided_rng(self):
+        tb, world, control = build()
+        control.register("dst", "ping", lambda req: {"pong": True})
+        control.mark_daemon_down("dst")
+        tb.sim.schedule(3e-3, control.mark_daemon_up, "dst")
+        state = random.getstate()
+
+        def driver():
+            yield from control.call_reliable("src", "dst", "ping",
+                                             policy=FAST, rng=random.Random(1))
+
+        tb.run(driver())
+        assert random.getstate() == state  # global stream untouched
+
+    def test_same_server_short_circuits(self):
+        tb, world, control = build()
+        control.register("src", "local", lambda req: {"here": True})
+        control.mark_daemon_down("dst")  # must not matter
+
+        def driver():
+            result = yield from control.call_reliable("src", "src", "local")
+            return result
+
+        assert tb.run(driver()) == {"here": True}
+
+
+class TestDaemonLiveness:
+    def test_down_daemon_swallows_requests_without_response(self):
+        tb, world, control = build()
+        control.register("dst", "ping", lambda req: {"pong": True})
+        control.mark_daemon_down("dst")
+        assert control._dispatch({"dst": "dst", "op": "ping"}) is None
+
+    def test_down_daemon_does_not_cache_idempotency_tokens(self):
+        """A request that hit a dead daemon must be fully re-processed after
+        the restart, not replayed from a cache that never saw a handler."""
+        tb, world, control = build()
+        calls = []
+        control.register("dst", "bump", lambda req: calls.append(1) or {"ok": 1})
+        request = {"dst": "dst", "op": "bump", "idem": "t#1"}
+        control.mark_daemon_down("dst")
+        assert control._dispatch(dict(request)) is None
+        control.mark_daemon_up("dst")
+        out = control._dispatch(dict(request))
+        assert calls == [1]
+        assert out[0]["status"] == "ok"

@@ -1,0 +1,44 @@
+"""Unit tests for MigrationReport's derived durations on partial runs.
+
+Regression: an aborted/rolled-back migration never sets ``t_resume`` (and
+may never set ``t_end``), so the derived properties used to return
+nonsense negatives like ``0.0 - t_freeze``.  They now return ``None``
+until the marks they need exist."""
+
+import pytest
+
+from repro.core.orchestrator import MigrationReport
+
+
+class TestAbortedReportDurations:
+    def test_fresh_report_has_no_durations(self):
+        report = MigrationReport()
+        assert report.blackout_s is None
+        assert report.communication_blackout_s is None
+        assert report.total_s is None
+
+    def test_rolled_back_report_has_no_blackout(self):
+        """A rollback that got as deep as wait-before-stop has t_suspend and
+        t_freeze but never resumed: there was no service blackout."""
+        report = MigrationReport()
+        report.aborted = True
+        report.rolled_back = True
+        report.t_start, report.t_suspend, report.t_freeze = 1.0, 1.2, 1.3
+        report.t_end = 1.4
+        assert report.blackout_s is None
+        assert report.communication_blackout_s is None
+        assert report.total_s == pytest.approx(0.4)  # rollback work counts
+
+    def test_completed_report_computes_durations(self):
+        report = MigrationReport()
+        report.t_start, report.t_suspend = 1.0, 1.2
+        report.t_freeze, report.t_resume, report.t_end = 1.3, 1.5, 1.6
+        assert report.blackout_s == pytest.approx(0.2)
+        assert report.communication_blackout_s == pytest.approx(0.3)
+        assert report.total_s == pytest.approx(0.6)
+
+    def test_no_negative_durations_ever(self):
+        """The original bug: defaults of 0.0 made blackout_s == -t_freeze."""
+        report = MigrationReport()
+        report.t_freeze = 0.0399  # suspension reached, then rolled back
+        assert report.blackout_s is None  # not -0.0399

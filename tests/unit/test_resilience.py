@@ -1,0 +1,162 @@
+"""Unit tests for the resilience primitives: retry policy, phase journal,
+failure detector, and the error taxonomy."""
+
+import random
+
+import pytest
+
+from repro import cluster
+from repro.core import MigrRdmaWorld
+from repro.core.orchestrator import COMMIT_POINT, PHASE_BOUNDARIES
+from repro.resilience import (
+    DEFAULT_RETRY_POLICY,
+    PATIENT_RETRY_POLICY,
+    FailureDetector,
+    MigrationError,
+    PeerCrashed,
+    PhaseJournal,
+    PresetupFailed,
+    RetryPolicy,
+    RpcTimeout,
+    WbsStuck,
+)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_without_rng(self):
+        policy = RetryPolicy(backoff_base_s=1e-4, backoff_factor=2.0,
+                             backoff_max_s=1.0)
+        assert policy.backoff_s(1, None) == pytest.approx(1e-4)
+        assert policy.backoff_s(2, None) == pytest.approx(2e-4)
+        assert policy.backoff_s(3, None) == pytest.approx(4e-4)
+
+    def test_backoff_capped(self):
+        policy = RetryPolicy(backoff_base_s=1e-3, backoff_max_s=2e-3)
+        assert policy.backoff_s(10, None) == pytest.approx(2e-3)
+
+    def test_jitter_is_seeded_and_downward(self):
+        policy = RetryPolicy(backoff_base_s=1e-3, jitter=0.5)
+        a = [policy.backoff_s(1, random.Random(42)) for _ in range(3)]
+        b = [policy.backoff_s(1, random.Random(42)) for _ in range(3)]
+        assert a == b  # same seed, same delays
+        for delay in a:
+            assert 0.5e-3 <= delay <= 1e-3  # full jitter shrinks, never grows
+
+    def test_zero_jitter_draws_nothing(self):
+        policy = RetryPolicy(jitter=0.0)
+        rng = random.Random(7)
+        state = rng.getstate()
+        policy.backoff_s(1, rng)
+        assert rng.getstate() == state
+
+    def test_defaults_fail_fast_vs_patient(self):
+        # Pre-commit must give up before post-commit would.
+        fast = (DEFAULT_RETRY_POLICY.max_attempts
+                * DEFAULT_RETRY_POLICY.attempt_timeout_s)
+        patient = (PATIENT_RETRY_POLICY.max_attempts
+                   * PATIENT_RETRY_POLICY.attempt_timeout_s)
+        assert fast < patient
+
+
+class TestPhaseJournal:
+    def journal(self):
+        return PhaseJournal(PHASE_BOUNDARIES, COMMIT_POINT)
+
+    def test_unknown_commit_point_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseJournal(PHASE_BOUNDARIES, "nonsense")
+
+    def test_committed_flips_at_commit_point(self):
+        journal = self.journal()
+        for boundary in PHASE_BOUNDARIES:
+            journal.record(boundary, 0.0)
+            assert journal.committed == (
+                PHASE_BOUNDARIES.index(boundary)
+                >= PHASE_BOUNDARIES.index(COMMIT_POINT))
+
+    def test_reached_is_a_high_water_mark(self):
+        journal = self.journal()
+        journal.record("wbs-entered", 1.0)
+        assert journal.reached("precopy-dumped")  # earlier boundary implied
+        assert journal.reached("wbs-entered")
+        assert not journal.reached("frozen")
+
+    def test_phases_reached_preserves_order(self):
+        journal = self.journal()
+        journal.record("precopy-dumped", 0.1)
+        journal.record("partial-restored", 0.2)
+        assert journal.phases_reached() == ["precopy-dumped", "partial-restored"]
+        assert journal.last == "partial-restored"
+
+
+class TestErrorTaxonomy:
+    def test_all_are_migration_errors(self):
+        for err in (RpcTimeout("x"), PeerCrashed("dst"), PresetupFailed("x"),
+                    WbsStuck("x")):
+            assert isinstance(err, MigrationError)
+
+    def test_rpc_timeout_carries_context(self):
+        err = RpcTimeout("gone", op="notify", dst="dst", attempts=5)
+        assert err.op == "notify"
+        assert err.dst == "dst"
+        assert err.attempts == 5
+
+
+class TestFailureDetector:
+    def build(self):
+        tb = cluster.build(num_partners=1)
+        world = MigrRdmaWorld(tb)
+        detector = FailureDetector(world.control, "src", ["dst", "partner0"],
+                                   interval_s=1e-3, miss_threshold=3)
+        return tb, world, detector
+
+    def test_suspects_after_threshold_misses(self):
+        tb, world, detector = self.build()
+        detector.start()
+        world.control.mark_daemon_down("dst")
+        tb.sim.run(until=2.5e-3)
+        assert not detector.suspects("dst")  # only 2 misses so far
+        tb.sim.run(until=3.5e-3)
+        assert detector.suspects("dst")
+        with pytest.raises(PeerCrashed):
+            detector.check()
+        detector.stop()
+
+    def test_recovery_clears_suspicion(self):
+        tb, world, detector = self.build()
+        detector.start()
+        world.control.mark_daemon_down("dst")
+        tb.sim.run(until=4e-3)
+        assert detector.suspects("dst")
+        world.control.mark_daemon_up("dst")
+        tb.sim.run(until=5.5e-3)
+        assert not detector.suspects("dst")
+        detector.check()  # no raise
+        assert detector.total_suspicions == 1  # monotonic history survives
+        detector.stop()
+
+    def test_healthy_peers_cost_no_heartbeat_misses(self):
+        tb, world, detector = self.build()
+        detector.start()
+        tb.sim.run(until=10e-3)
+        detector.stop()
+        assert world.control.stats.heartbeats_missed == 0
+        assert detector.total_suspicions == 0
+
+    def test_stop_cancels_the_recurring_tick(self):
+        tb, world, detector = self.build()
+        detector.start()
+        detector.stop()
+        # With the tick cancelled the heap drains: run() must terminate.
+        tb.sim.run()
+        assert tb.sim.now < 1.0
+
+    def test_check_scoped_to_one_peer(self):
+        tb, world, detector = self.build()
+        detector.start()
+        world.control.mark_daemon_down("partner0")
+        tb.sim.run(until=4e-3)
+        detector.check("dst")  # the healthy peer passes
+        with pytest.raises(PeerCrashed):
+            detector.check("partner0")
+        detector.stop()
