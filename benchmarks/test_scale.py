@@ -3,12 +3,14 @@
 RDMAvisor's argument (PAPERS.md) is that RDMA-as-a-service must scale to
 many connections per host; the reference scenario stops at 16 QPs.  This
 benchmark runs the fault-free torture-style scenario — full quiesce drain
-plus all 8 chaos invariants — at datacenter fan-out and lands the numbers
+plus every registered chaos invariant — at datacenter fan-out and lands the
+numbers
 in ``BENCH_scale.json``: correctness (every invariant clean) is asserted,
 wall-clock (events/sec) is guarded against >30% regressions the same way
 ``BENCH_simperf.json`` is.
 
-The 256-QP point always runs; ``REPRO_BENCH_FULL=1`` adds 1024 QPs.
+The 256- and 1024-QP points always run; ``REPRO_BENCH_FULL=1`` adds
+4096 QPs.
 """
 
 import json
@@ -22,7 +24,7 @@ from repro.parallel import TaskSpec, run_tasks
 REPO_ROOT = Path(__file__).resolve().parents[1]
 RESULT_FILE = REPO_ROOT / "BENCH_scale.json"
 
-QP_POINTS = [256, 1024] if FULL_MODE else [256]
+QP_POINTS = [256, 1024, 4096] if FULL_MODE else [256, 1024]
 
 #: New events/sec must be at least this fraction of the previous run's.
 GUARD_TOLERANCE = 0.70
@@ -36,18 +38,22 @@ def test_scale_invariants_and_events_per_sec():
     assert all(r.ok for r in results), [r.error for r in results if not r.ok]
     points = [r.value for r in results]
 
+    from repro.chaos.invariants import DEFAULT_REGISTRY
+
+    expected_invariants = set(DEFAULT_REGISTRY.names())
     for point in points:
         # The scale claim is first a correctness claim: the indirection
-        # tables, WBS drain and go-back-N machinery at 256+ QPs keep all
-        # 8 invariants clean.
-        assert len(point["invariants_checked"]) == 8, point["invariants_checked"]
+        # tables, WBS drain and go-back-N machinery at 256+ QPs keep every
+        # registered invariant clean.
+        assert set(point["invariants_checked"]) == expected_invariants, \
+            point["invariants_checked"]
         assert point["invariants_ok"], point["violations"]
         assert point["blackout_ms"] > 0
         assert point["events_processed"] > 100_000
         assert point["digest"]
 
     result = {
-        "scenario": "scale_run (fault-free torture case + 8 invariants)",
+        "scenario": "scale_run (fault-free torture case + all invariants)",
         "points": [
             {
                 "num_qps": point["num_qps"],
@@ -59,6 +65,11 @@ def test_scale_invariants_and_events_per_sec():
                 "blackout_ms": round(point["blackout_ms"], 3),
                 "wbs_elapsed_us": round(point["wbs_elapsed_us"], 2),
                 "invariants_ok": point["invariants_ok"],
+                "scheduler": point["scheduler"],
+                "events_credited": point["events_credited"],
+                "flow_expressed": point["flow_expressed"],
+                "flow_fallbacks": point["flow_fallbacks"],
+                "flow_materialized": point["flow_materialized"],
             }
             for point in points
         ],

@@ -195,7 +195,7 @@ class Testbed:
         global _pids
         _pids = itertools.count(1000)
         self.config = config or default_config()
-        self.sim = Simulator()
+        self.sim = Simulator(scheduler=getattr(self.config, "scheduler", "wheel"))
         self.network = Network(self.sim, self.config)
         self.source = Server(self.sim, self.network, "src", self.config)
         self.destination = Server(self.sim, self.network, "dst", self.config)

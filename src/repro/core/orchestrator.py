@@ -503,6 +503,7 @@ class LiveMigration:
         from repro.core.control import NOTIFY_BASE_BYTES, NOTIFY_PER_QP_BYTES
 
         policy = PATIENT_RETRY_POLICY if patient else DEFAULT_RETRY_POLICY
+        policy = self._hol_scaled_policy(policy)
         for node, pqpns in partners.items():
             try:
                 yield from self.world.control.call_reliable(
@@ -514,6 +515,32 @@ class LiveMigration:
             except MigrationError:
                 if not patient:
                     raise  # pre-commit: surface and roll back
+
+    def _hol_scaled_policy(self, policy):
+        """Widen per-attempt RPC deadlines to cover egress head-of-line
+        blocking.
+
+        Control messages share the source's FIFO port with the bulk data
+        still flowing pre-suspend.  At datacenter fan-out (1024+ QPs x
+        depth 8 x 64 KiB) hundreds of megabytes can be queued ahead of the
+        notify, so a fixed few-ms deadline can *never* be met and the
+        migration would abort spuriously.  Each attempt's deadline is
+        scaled to the port's drain time (capped so the channel's inner
+        retransmit counter stays well under its runaway guard) and the
+        attempt budget widened to cover at least twice the drain.  Below
+        the default deadline the policy is returned untouched, keeping
+        small-fanout runs bit-identical.
+        """
+        import math
+        from dataclasses import replace
+
+        port = self.source.node.port
+        drain_s = port.pending_bytes * 8.0 / port.rate_bps
+        if drain_s <= policy.attempt_timeout_s:
+            return policy
+        per = min(1.5 * drain_s + policy.attempt_timeout_s, 40e-3)
+        tries = max(policy.max_attempts, math.ceil(2.0 * drain_s / per) + 1)
+        return replace(policy, attempt_timeout_s=per, max_attempts=tries)
 
     def _wait_presetup(self, partners: Dict[str, List[int]], patient: bool = False):
         """Partner pre-setup and destination-side exchange both complete.
@@ -533,7 +560,8 @@ class LiveMigration:
                     status = yield from self.world.control.call_reliable(
                         self.source.name, node, "presetup_status",
                         {"service_id": self.container.container_id},
-                        policy=policy, rng=self._backoff_rng())
+                        policy=self._hol_scaled_policy(policy),
+                        rng=self._backoff_rng())
                     if status["done"]:
                         break
                     yield from self.detector.poll_interval(
@@ -567,6 +595,7 @@ class LiveMigration:
             yield from self.world.control.call_reliable(
                 self.source.name, node, "suspend_for_service",
                 {"service_id": self.container.container_id},
+                policy=self._hol_scaled_policy(DEFAULT_RETRY_POLICY),
                 rng=self._backoff_rng())
 
     def _wait_wbs(self, partners: Dict[str, List[int]]):
@@ -580,6 +609,7 @@ class LiveMigration:
                 status = yield from self.world.control.call_reliable(
                     self.source.name, node, "wbs_status",
                     {"service_id": self.container.container_id},
+                    policy=self._hol_scaled_policy(DEFAULT_RETRY_POLICY),
                     rng=self._backoff_rng())
                 if status["done"]:
                     break

@@ -18,6 +18,12 @@ independent simulation points over a spawn worker pool via
 ``repro.parallel``; results are merged in sweep order and are
 bit-identical to a ``--jobs 1`` run (see DESIGN.md §10).
 
+``python -m repro.experiments --profile <command> ...`` runs the command
+under :mod:`cProfile` and dumps the top 30 functions (by cumulative and
+by internal time) to stderr — the quick way to find the hot path behind
+a ``BENCH_simperf.json`` regression.  Profile with ``--jobs 1``: spawn
+workers run outside the profiled process.
+
 The pytest benchmarks under ``benchmarks/`` remain the canonical
 reproduction (they also assert the paper's shape claims); this runner is
 the quick way to eyeball one experiment.
@@ -288,6 +294,10 @@ def cmd_recovery(args) -> int:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", action="store_true",
+                        help="run the command under cProfile and dump the "
+                             "top 30 functions (cumulative and internal "
+                             "time) to stderr afterwards")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
 
@@ -362,6 +372,19 @@ def main(argv=None) -> int:
             print(name)
         return 0
     handler = globals()[f"cmd_{args.command}"]
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            return handler(args) or 0
+        finally:
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            for order in ("cumulative", "tottime"):
+                stats.sort_stats(order).print_stats(30)
     return handler(args) or 0
 
 

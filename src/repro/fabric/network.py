@@ -84,6 +84,10 @@ class Network:
         #: scoped fault hook (see :mod:`repro.chaos.plan`): consulted per
         #: in-flight message; ``None`` keeps the unfaulted fast path.
         self.fault_injector = None
+        #: master switch for the RNIC express lane (flow-level aggregation
+        #: of clean-window bulk traffic); any fault source disables it at
+        #: the per-WR gate independently of this flag.
+        self.flow_aggregation = getattr(self.config, "flow_aggregation", True)
 
     def add_node(self, name: str, rate_bps: Optional[float] = None) -> Node:
         if name in self.nodes:
@@ -103,14 +107,26 @@ class Network:
         state set here silently leaks into every later scenario sharing the
         network.  Use a :class:`repro.chaos.FaultPlan` (``drop()`` rules are
         scoped per link/protocol/window and uninstallable) and
-        :meth:`reset_faults` instead."""
+        :meth:`reset_faults` instead.
+        """
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss rate must be in [0, 1), got {loss_rate}")
         warnings.warn(
             "Network.set_loss_rate is deprecated; use repro.chaos.FaultPlan"
             ".drop(...).install(...) for scoped, resettable loss",
             DeprecationWarning, stacklevel=2)
+        self.flow_invalidate_all()
         self.loss_rate = loss_rate
+
+    def flow_invalidate_all(self) -> None:
+        """De-aggregation hook: turn every pending express-lane reservation
+        back into packet-level events.  Called whenever a fault source is
+        armed (or disarmed) network-wide, so chaos and torture runs observe
+        packet-for-packet identical traffic."""
+        for node in self.nodes.values():
+            lane = node.port.flow_lane
+            if lane is not None:
+                lane.materialize("fault-window")
 
     def reset_faults(self) -> None:
         """Clear every fault source: legacy global loss and any installed

@@ -38,6 +38,12 @@ class Port:
         #: (>= 1.0); used to model NIC-internal contention during
         #: control-path bursts (Figure 5 brownout dips).
         self.contention_factor = None
+        #: Express-lane reservation (see ``repro.rnic.nic._FlowLane``):
+        #: while bulk RC traffic is aggregated at flow level, the acks it
+        #: elides notionally occupy this port.  Any foreign transmission
+        #: forces those reservations back into packet-level port items
+        #: before it is queued, so contention stays exact.
+        self.flow_lane = None
 
     @property
     def bytes_sent(self) -> int:
@@ -46,6 +52,16 @@ class Port:
     @property
     def backlog(self) -> int:
         return len(self._pending)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes queued behind the in-flight transmission.
+
+        Head-of-line estimate for control messages sharing this port with
+        bulk data: a new transmission waits roughly
+        ``pending_bytes * 8 / rate_bps`` before its first byte serializes.
+        """
+        return sum(item[0] for item in self._pending)
 
     def serialization_time(self, size_bytes: int) -> float:
         return size_bytes * 8.0 / self.rate_bps
@@ -57,6 +73,9 @@ class Port:
         ``on_wire_done(*cb_args)`` (if given) runs at that moment — passing
         the args here lets hot callers avoid a closure per message.
         """
+        lane = self.flow_lane
+        if lane is not None:
+            lane.materialize("port-conflict")
         done = self.sim.event()
         item = (size_bytes, on_wire_done, cb_args, done)
         if self._active:

@@ -71,6 +71,14 @@ class PageStore:
             if size == PAGE_SIZE and type(page) is bytes:
                 return page  # whole immutable page: zero-copy
             return bytes(page[within:within + size])
+        if within == 0 and size % PAGE_SIZE == 0:
+            # Page-aligned whole-page gather (the bulk-transfer common
+            # case): one lookup per page, no slicing of immutable pages.
+            get = pages.get
+            return b"".join(
+                page if type(page) is bytes
+                else (_ZERO_PAGE if page is None else bytes(page))
+                for page in map(get, range(index, index + size // PAGE_SIZE)))
         chunks = []
         while size > 0:
             take = PAGE_SIZE - within
@@ -79,8 +87,8 @@ class PageStore:
             page = pages.get(index)
             if page is None:
                 chunks.append(_ZERO_PAGE[:take])
-            elif take == PAGE_SIZE and type(page) is bytes:
-                chunks.append(page)
+            elif take == PAGE_SIZE:
+                chunks.append(page if type(page) is bytes else bytes(page))
             else:
                 chunks.append(bytes(page[within:within + take]))
             size -= take
@@ -94,6 +102,22 @@ class PageStore:
         pages = self._pages
         dirty = self._dirty
         index, within = divmod(offset, PAGE_SIZE)
+        if within == 0 and size % PAGE_SIZE == 0 and type(data) is bytes:
+            # Page-aligned whole-page writes from an immutable source (the
+            # bulk-transfer common case): keep the slices themselves —
+            # slicing ``bytes`` yields immutable ``bytes``, so no second
+            # copy — and batch the dirty-set update.
+            if size == PAGE_SIZE:
+                pages[index] = data
+                dirty.add(index)
+                return
+            npages = size // PAGE_SIZE
+            pos = 0
+            for k in range(index, index + npages):
+                pages[k] = data[pos:pos + PAGE_SIZE]
+                pos += PAGE_SIZE
+            dirty.update(range(index, index + npages))
+            return
         pos = 0
         while pos < size:
             take = PAGE_SIZE - within

@@ -203,6 +203,30 @@ class MetricsRegistry:
         self.gauge("chaos.rules").set(len(plan.rules))
         self.gauge("chaos.boundaries_seen").set(len(plan.boundaries_seen))
 
+    def scrape_perf(self, tb) -> None:
+        """Opt-in speed-path counters: scheduler occupancy/routing and
+        express-lane (flow aggregation) activity.
+
+        Deliberately **not** part of :meth:`scrape_testbed`: the chaos run
+        digest hashes the default snapshot, and these counters describe how
+        fast a run went, not what it computed — they differ between the
+        wheel and heap schedulers (and between flow aggregation on/off)
+        while every digested metric stays bit-identical.  Keeping them in a
+        separate scrape preserves those cross-mode digest pins.
+        """
+        sim = tb.sim
+        for name, value in sim.scheduler_stats().items():
+            if name == "scheduler":
+                continue
+            self.gauge(f"sched.{name}").set(value)
+        self.gauge("sched.events_credited").set(sim.events_credited)
+        for server in tb.servers:
+            nic = server.rnic
+            prefix = f"flow.{nic.node.name}"
+            self.gauge(f"{prefix}.expressed").set(nic.flow_expressed)
+            self.gauge(f"{prefix}.fallbacks").set(nic.flow_fallbacks)
+            self.gauge(f"{prefix}.materialized").set(nic.flow_materialized)
+
     # -- output ----------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:

@@ -80,3 +80,61 @@ def test_tracing_enabled_leaves_simulated_time_bit_identical():
     assert "migration" in processes
     assert len(tracer.lanes()) >= 5
     assert tracer.span_count() > 0
+
+
+def _full_observables(config=None):
+    """Every simulated-time observable the fast paths must not move."""
+    from repro.config import default_config
+
+    scenario = MigrationScenario(num_qps=16, config=config or default_config())
+    report = scenario.run_migration()
+    sim = scenario.tb.sim
+    nics = [(s.rnic.tx_bytes, s.rnic.rx_bytes, s.rnic.tx_msgs, s.rnic.rx_msgs)
+            for s in scenario.tb.servers]
+    return {
+        "blackout_s": report.blackout_s,
+        "final_now": sim.now,
+        "events_processed": sim.events_processed,
+        "events_cancelled": sim.events_cancelled,
+        "messages_sent": scenario.tb.network.messages_sent,
+        "nics": nics,
+    }, scenario
+
+
+def test_legacy_heap_scheduler_bit_identical():
+    """The timer wheel vs the legacy heap: one full migration, every
+    observable equal — including the event counters, which the wheel must
+    reproduce exactly despite routing entries through different plumbing."""
+    from repro.config import default_config
+
+    heap_config = default_config()
+    heap_config.scheduler = "heap"
+    wheel, wheel_scn = _full_observables()
+    heap, heap_scn = _full_observables(heap_config)
+    assert wheel == heap
+    assert wheel["blackout_s"] == EXPECTED["blackout_s"]
+    assert wheel["final_now"] == EXPECTED["final_now"]
+    assert wheel_scn.tb.sim.scheduler_stats()["scheduler"] == "wheel"
+    assert heap_scn.tb.sim.scheduler_stats()["scheduler"] == "heap"
+
+
+def test_flow_aggregation_bit_identical():
+    """The express lane (flow-level aggregation of clean-window bulk WRs)
+    vs the packet-level path: identical timestamps, event counts and NIC
+    byte/message counters.  The aggregated run must actually aggregate —
+    otherwise this pins nothing."""
+    from repro.config import default_config
+
+    packet_config = default_config()
+    packet_config.flow_aggregation = False
+    flow, flow_scn = _full_observables()
+    packet, packet_scn = _full_observables(packet_config)
+    assert flow == packet
+    assert flow["blackout_s"] == EXPECTED["blackout_s"]
+    assert flow["final_now"] == EXPECTED["final_now"]
+    expressed = sum(s.rnic.flow_expressed for s in flow_scn.tb.servers)
+    credited = flow_scn.tb.sim.events_credited
+    assert expressed > 1000
+    assert credited > 2 * 1000
+    assert sum(s.rnic.flow_expressed for s in packet_scn.tb.servers) == 0
+    assert packet_scn.tb.sim.events_credited == 0

@@ -39,6 +39,14 @@ class TestCli:
         assert "slowdown" in out
         assert "x" in out
 
+    def test_profile_dumps_hot_functions(self, capsys):
+        assert main(["--profile", "fig3", "--qps", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "sender/pre" in captured.out  # command output intact
+        assert "cumulative" in captured.err
+        assert "tottime" in captured.err
+        assert "cmd_fig3" in captured.err
+
     def test_trace_small(self, capsys, tmp_path):
         import json
 
