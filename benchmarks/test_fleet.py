@@ -1,0 +1,132 @@
+"""Fleet drain at bench scale: drain completion time and aggregate
+blackout p99 per admission-control concurrency level.
+
+The fleet claim is first a correctness claim — every registered
+invariant (including ``fleet-placement``) stays clean while many
+migrations share oversubscribed ToR trunks — and then a shape claim:
+raising the admission limit shortens drain completion time, and the
+per-trunk utilisation shows the concurrent transfers actually contending
+for the same uplink.  ``BENCH_fleet.json`` lands drain-completion and
+blackout-p99 sim-times per concurrency level; both are guarded against
+>30% regressions the same way ``BENCH_scale.json`` guards events/sec.
+
+``REPRO_BENCH_FULL=1`` doubles the fleet (4 racks, 64 containers).
+"""
+
+import json
+import os
+from pathlib import Path
+
+from bench_common import FULL_MODE
+
+from repro.parallel import TaskSpec, run_tasks
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_FILE = REPO_ROOT / "BENCH_fleet.json"
+
+RACKS = 4 if FULL_MODE else 2
+HOSTS_PER_RACK = 2
+CONTAINERS = 64 if FULL_MODE else 16
+CONCURRENCY_POINTS = [1, 2, 4]
+
+#: Oversubscribed enough that concurrent cross-rack migrations visibly
+#: queue on the drained rack's uplink, but not so deep that application
+#: WRs stuck behind the trunk backlog blow the go-back-N retry budget
+#: (8 retries x ~512us RTO): at 8:1 the c=4 point queues several ms of
+#: backlog and app QPs die with RETRY_EXC_ERR, which the invariant suite
+#: rightly flags.  4:1 keeps the transport alive while still showing the
+#: contention shape.
+OVERSUBSCRIPTION = 4.0
+
+#: New drain/blackout sim-times may be at most this multiple of the
+#: previous run's (they are sim-times, so in practice they are exact).
+GUARD_TOLERANCE = 1.30
+
+
+def test_fleet_drain_contention_and_completion():
+    specs = [TaskSpec("repro.parallel.runners.fleet_run",
+                      dict(racks=RACKS, hosts_per_rack=HOSTS_PER_RACK,
+                           containers=CONTAINERS, policy="drain",
+                           target="rack0", seed=7, concurrency=concurrency,
+                           oversubscription=OVERSUBSCRIPTION),
+                      label=f"fleet:c{concurrency}")
+             for concurrency in CONCURRENCY_POINTS]
+    results = run_tasks(specs, jobs=1)
+    assert all(r.ok for r in results), [r.error for r in results if not r.ok]
+    points = [r.value for r in results]
+
+    from repro.chaos.invariants import DEFAULT_REGISTRY
+
+    expected_invariants = set(DEFAULT_REGISTRY.names())
+    for point in points:
+        assert set(point["invariants_checked"]) == expected_invariants, \
+            point["invariants_checked"]
+        assert point["invariants_ok"], point["violations"]
+        assert point["completed"] == point["jobs_planned"] > 0
+        assert point["failed"] == 0
+        assert point["max_concurrency"] <= point["concurrency"]
+        assert point["blackout"]["p99"] > 0
+
+    # Shape: more admitted concurrency => the drain finishes sooner.
+    drains = [point["drain_s"] for point in points]
+    assert drains[0] > drains[-1], drains
+    # Contention: with everything leaving rack0, its uplink carries the
+    # pre-copy/state traffic of every migration and must dominate.
+    for point in points:
+        links = point["links"]
+        rack0_up = links["rack0:up"]["bytes"]
+        assert rack0_up > 0
+        assert rack0_up >= max(stats["bytes"]
+                               for name, stats in links.items()
+                               if name != "rack0:up") * 0.5
+    # The concurrent drain queues deeper on the trunk than the serial one.
+    assert (points[-1]["link_peak_backlog"]["rack0:up"]
+            >= points[0]["link_peak_backlog"]["rack0:up"])
+
+    result = {
+        "scenario": (f"fleet_run drain rack0 ({RACKS}x{HOSTS_PER_RACK} hosts, "
+                     f"{CONTAINERS} containers, oversub {OVERSUBSCRIPTION})"),
+        "points": [
+            {
+                "concurrency": point["concurrency"],
+                "migrations": point["migrations"],
+                "drain_ms": round(point["drain_s"] * 1e3, 3),
+                "blackout_p50_ms": round(point["blackout"]["p50"] * 1e3, 3),
+                "blackout_p99_ms": round(point["blackout"]["p99"] * 1e3, 3),
+                "max_concurrency": point["max_concurrency"],
+                "rack0_up_util": round(point["links"]["rack0:up"]["utilization"], 6),
+                "rack0_up_peak_backlog": point["link_peak_backlog"]["rack0:up"],
+                "attempts_total": point["attempts_total"],
+                "wallclock_s": round(point["wall_s"], 4),
+                "events_processed": point["events_processed"],
+                "invariants_ok": point["invariants_ok"],
+                "digest": point["digest"],
+            }
+            for point in points
+        ],
+    }
+
+    previous = None
+    if RESULT_FILE.exists():
+        try:
+            previous = json.loads(RESULT_FILE.read_text())
+        except (ValueError, OSError):
+            previous = None
+    RESULT_FILE.write_text(json.dumps(result, indent=2) + "\n")
+
+    if previous is not None and not os.environ.get("REPRO_BENCH_NO_GUARD"):
+        prev_points = {p.get("concurrency"): p for p in previous.get("points", [])}
+        for point in result["points"]:
+            prev = prev_points.get(point["concurrency"])
+            if not prev:
+                continue
+            for metric in ("drain_ms", "blackout_p99_ms"):
+                if not prev.get(metric):
+                    continue
+                ceiling = prev[metric] * GUARD_TOLERANCE
+                assert point[metric] <= ceiling, (
+                    f"fleet c={point['concurrency']} {metric} regressed: "
+                    f"{point[metric]} vs previous {prev[metric]} (ceiling "
+                    f"{ceiling:.3f}, tolerance {GUARD_TOLERANCE:.0%}). If the "
+                    f"slowdown is expected, commit the new BENCH_fleet.json "
+                    f"or set REPRO_BENCH_NO_GUARD=1.")

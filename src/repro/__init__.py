@@ -14,6 +14,8 @@ Migration for RDMA" (SIGCOMM 2025) on a from-scratch simulated substrate:
 - :mod:`repro.baselines` -- no-presetup, MigrOS, LubeRDMA, FreeFlow, failover
 - :mod:`repro.apps` -- perftest and Hadoop-like workloads
 - :mod:`repro.metrics` -- cycle accounting, byte counters, blackout breakdown
+- :mod:`repro.fleet` -- cluster-scale orchestration: fat-tree racks, fleet
+  state store, migration scheduler (drains, rebalancing, evictions)
 
 Quickstart::
 

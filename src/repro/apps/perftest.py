@@ -88,9 +88,11 @@ class PerftestEndpoint:
                  world=None, container: Optional[Container] = None,
                  msg_size: int = 65536, depth: int = 64,
                  mode: str = "write", verify_content: bool = False,
-                 sample_cycles: bool = False):
+                 sample_cycles: bool = False, pace_s: float = 0.0):
         if mode not in _MODE_OPCODE:
             raise ValueError(f"unknown perftest mode {mode!r}")
+        if pace_s < 0:
+            raise ValueError(f"pace_s must be >= 0, got {pace_s}")
         self.name = name or f"perftest{next(_endpoint_ids)}"
         self.server = server
         self.world = world
@@ -99,6 +101,13 @@ class PerftestEndpoint:
         self.mode = mode
         self.opcode = _MODE_OPCODE[mode]
         self.verify_content = verify_content
+        #: posting-tick interval for rate-limited senders.  0.0 (default)
+        #: keeps perftest's native behaviour — depth WRs outstanding,
+        #: refilled per completion at line rate.  A fleet of hundreds of
+        #: endpoints cannot all run at line rate (nor would real tenants);
+        #: a paced sender posts at most one WR per QP per tick, capping
+        #: event rate at ~1/pace_s per connection.
+        self.pace_s = pace_s
 
         self.container = container or server.create_container(f"{self.name}-ct")
         self.process = self.container.add_process(self.name, record_samples=sample_cycles)
@@ -257,6 +266,9 @@ class PerftestEndpoint:
         return min(max(batch * self.msg_size * 8 / rate, 0.5e-6), 50e-6)
 
     def _sender_loop(self):
+        if self.pace_s:
+            yield from self._paced_sender_loop()
+            return
         sim = self.server.sim
         poll_sleep = self._poll_sleep_s()
         self._refill()  # initial window; afterwards refill is per-completion
@@ -273,6 +285,38 @@ class PerftestEndpoint:
                         break
                     self._refill()  # e.g. after resuming from suspension
                     yield sim.timeout(max(cpu_s, poll_sleep, IDLE_POLL_S))
+        except Interrupt:
+            return
+
+    def _paced_sender_loop(self):
+        """Rate-limited posting: at most one WR per QP per ``pace_s`` tick,
+        still bounded by ``depth`` outstanding.  Suspension/migration work
+        unchanged — posts during suspension are buffered by the guest lib
+        and replayed, and ``on_migrated``/``on_rollback`` respawn the loop."""
+        sim = self.server.sim
+        try:
+            while self.running:
+                self._drain_completions()
+                for conn in self.connections:
+                    if conn.outstanding >= self.depth:
+                        continue
+                    if self._iters_left is not None:
+                        if self._iters_left <= 0:
+                            continue
+                        self._iters_left -= 1
+                    if self.process.cpu.record_samples:
+                        self.process.cpu.begin_op_sample(self.mode)
+                    self.lib.post_send(conn.qp, self._build_wr(conn.index, conn))
+                    if self.process.cpu.record_samples:
+                        self.process.cpu.end_op_sample()
+                    conn.next_seq += 1
+                    conn.outstanding += 1
+                if self._iters_left == 0 and not any(
+                        c.outstanding for c in self.connections):
+                    self.running = False
+                    break
+                cpu_s = self.process.cpu.drain_seconds()
+                yield sim.timeout(max(cpu_s, self.pace_s))
         except Interrupt:
             return
 
@@ -310,7 +354,7 @@ class PerftestEndpoint:
         conn.outstanding -= 1
         self.stats.completed += 1
         self.stats.bytes_completed += wc.byte_len or self.msg_size
-        if self.running and self._sender_active:
+        if self.running and self._sender_active and not self.pace_s:
             self._refill_conn(conn)
 
     # -- receiver --------------------------------------------------------------

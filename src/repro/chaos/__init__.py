@@ -28,8 +28,10 @@ from repro.chaos.plan import (
     FaultPlan,
     FaultRule,
     FaultStats,
+    HostKill,
     QpErrorEvent,
     RnrStorm,
+    UplinkDegrade,
 )
 from repro.chaos.torture import TortureCase, run_case, sample_case
 from repro.chaos.torture import torture as run_torture
@@ -40,7 +42,7 @@ from repro.chaos import torture  # noqa: E402  isort:skip
 
 __all__ = [
     "CqPressure", "DEFAULT_REGISTRY", "FaultPlan", "FaultRule", "FaultStats",
-    "InvariantContext", "InvariantReport", "InvariantRegistry",
-    "QpErrorEvent", "RnrStorm", "TortureCase", "run_case", "run_torture",
-    "sample_case",
+    "HostKill", "InvariantContext", "InvariantReport", "InvariantRegistry",
+    "QpErrorEvent", "RnrStorm", "TortureCase", "UplinkDegrade", "run_case",
+    "run_torture", "sample_case",
 ]

@@ -24,7 +24,11 @@ adversity, and yields human-readable violation strings (nothing = pass):
   commit), with no process left frozen (§4's all-or-nothing contract),
 - ``sim-health`` — no simulator process died with an exception,
 - ``fabric-accounting`` — every dropped message is accounted to exactly
-  one cause (legacy loss or the fault plan).
+  one cause (legacy loss or the fault plan),
+- ``fleet-placement`` — after a fleet drain every container has exactly
+  one live placement, agreeing with the state store: nothing lost,
+  nothing split-brained, nothing left frozen (skipped outside fleet
+  runs).
 
 The context scrapes the whole stack into a
 :class:`~repro.obs.metrics.MetricsRegistry` first, so checkers read the
@@ -48,7 +52,8 @@ class InvariantContext:
     """Everything a checker may inspect about one finished fault run."""
 
     def __init__(self, tb, world=None, endpoints=(), pairs=(), reports=(),
-                 plan=None, workload_errors=(), extra_metrics=None):
+                 plan=None, workload_errors=(), extra_metrics=None,
+                 fleet=None):
         from repro.obs import MetricsRegistry
 
         self.tb = tb
@@ -58,12 +63,16 @@ class InvariantContext:
         self.pairs = list(pairs)
         self.reports = list(reports)
         self.plan = plan
+        #: the :class:`~repro.fleet.Fleet` for fleet-scale runs (else None)
+        self.fleet = fleet
         #: scenario-level failures the harness itself observed
         self.workload_errors = list(workload_errors)
         self.metrics = extra_metrics or MetricsRegistry()
         self.metrics.scrape_testbed(tb, world)
         if plan is not None:
             self.metrics.scrape_chaos(plan)
+        if fleet is not None:
+            self.metrics.scrape_fleet(fleet)
         self.snapshot = self.metrics.snapshot()
 
     @property
@@ -291,6 +300,47 @@ def _check_fabric_accounting(ctx):
     if network.messages_dropped != ctx.plan.stats.fabric_dropped:
         yield (f"network dropped {network.messages_dropped} messages but the "
                f"fault plan accounts for {ctx.plan.stats.fabric_dropped}")
+
+
+@DEFAULT_REGISTRY.register("fleet-placement")
+def _check_fleet_placement(ctx):
+    """Every container the fleet knows about has exactly one live
+    placement, and it agrees with the state store — no container lost in
+    a drain, none split-brained across two hosts, none left frozen.
+    Skipped outside fleet runs (``ctx.fleet is None``).
+    """
+    fleet = getattr(ctx, "fleet", None)
+    if fleet is None:
+        return
+    state = fleet.state
+    live = {}
+    for server in fleet.servers:
+        for name, container in server.containers.items():
+            live.setdefault(name, []).append((server.name, container))
+    for name in state.containers:
+        holders = live.get(name, [])
+        if not holders:
+            yield f"container {name!r}: no live placement on any host (lost)"
+            continue
+        if len(holders) > 1:
+            hosts = ", ".join(host for host, _ in holders)
+            yield (f"container {name!r}: live on {len(holders)} hosts "
+                   f"({hosts}) — split-brain")
+            continue
+        host, container = holders[0]
+        expected = state.host_of(name)
+        if host != expected:
+            yield (f"container {name!r}: live on {host} but the state "
+                   f"store places it on {expected}")
+        frozen = [p.name for p in container.processes if p.frozen]
+        if frozen:
+            yield (f"container {name!r}: processes still frozen on "
+                   f"{host}: {', '.join(frozen)}")
+    for name, holders in live.items():
+        if name not in state.containers:
+            yield (f"container {name!r}: live on "
+                   f"{', '.join(h for h, _ in holders)} but unknown to "
+                   f"the state store")
 
 
 def run_digest(ctx: InvariantContext, report: InvariantReport) -> str:

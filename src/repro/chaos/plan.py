@@ -16,7 +16,11 @@ Installing it on a testbed attaches thin hook objects at three layers:
   times,
 - **migration** — ``LiveMigration.chaos`` is told about every named phase
   boundary (:data:`repro.core.orchestrator.PHASE_BOUNDARIES`) and may
-  request an abort there.
+  request an abort there,
+- **fleet** — :class:`HostKill` takes a whole host's MigrRDMA daemon
+  down at a scheduled sim time (a host dying mid-drain) and
+  :class:`UplinkDegrade` slows one rack's ToR trunk for a window
+  (requires a :class:`~repro.fabric.FatTreeTopology` on the network).
 
 Determinism contract: all randomness comes from the plan's own
 ``random.Random(seed)`` — the network's and CPU ledgers' RNG streams are
@@ -34,7 +38,8 @@ from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional
 
 __all__ = ["FaultRule", "RnrStorm", "CqPressure", "QpErrorEvent",
-           "DaemonCrash", "FaultStats", "FaultPlan"]
+           "DaemonCrash", "HostKill", "UplinkDegrade", "FaultStats",
+           "FaultPlan"]
 
 
 @dataclass
@@ -150,6 +155,48 @@ class DaemonCrash:
 
 
 @dataclass
+class HostKill:
+    """At ``at_s``, the MigrRDMA daemon on ``node`` goes dark for
+    ``down_s`` simulated seconds — a *time-scheduled* crash, unlike
+    :class:`DaemonCrash` which triggers on a migration phase boundary.
+    Fleet drains use this to kill a host mid-drain: every in-flight
+    migration touching the host sees its control RPCs time out, and the
+    :class:`~repro.resilience.MigrationSupervisor` must roll back and
+    retry (possibly to an alternate destination).
+    """
+
+    node: str
+    at_s: float
+    down_s: float
+
+    def __post_init__(self):
+        if self.at_s < 0:
+            raise ValueError(f"at_s must be non-negative, got {self.at_s}")
+        if self.down_s <= 0:
+            raise ValueError(f"down_s must be positive, got {self.down_s}")
+
+
+@dataclass
+class UplinkDegrade:
+    """While active, the ToR uplink trunk of ``rack`` serializes
+    ``factor``× slower — a congested/flapping spine link.  Requires a
+    :class:`~repro.fabric.FatTreeTopology` attached to the network; the
+    fault is a windowed ``contention_factor`` on the trunk's ``Port``.
+    """
+
+    rack: str
+    start_s: float
+    end_s: float
+    factor: float
+
+    def __post_init__(self):
+        if self.end_s <= self.start_s:
+            raise ValueError("degrade window ends before it starts")
+        if self.factor <= 1.0:
+            raise ValueError(f"factor must be > 1.0, got {self.factor}")
+
+
+@dataclass
 class FaultStats:
     """What the plan actually did (scraped into ``chaos.*`` metrics)."""
 
@@ -162,6 +209,8 @@ class FaultStats:
     qp_errors_fired: int = 0
     aborts_requested: int = 0
     daemon_crashes: int = 0
+    host_kills: int = 0
+    uplink_slowdowns: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -256,6 +305,29 @@ class _RnicChaos:
         return target - now
 
 
+class _UplinkChaos:
+    """The windowed ``contention_factor`` installed on a degraded trunk
+    ``Port``: outside every window it returns 1.0 (no slowdown), inside
+    it returns the max factor of the overlapping windows."""
+
+    __slots__ = ("plan", "sim", "degrades")
+
+    def __init__(self, plan: "FaultPlan", sim, degrades: List[UplinkDegrade]):
+        self.plan = plan
+        self.sim = sim
+        self.degrades = degrades
+
+    def __call__(self) -> float:
+        now = self.sim.now
+        factor = 1.0
+        for degrade in self.degrades:
+            if degrade.start_s <= now < degrade.end_s:
+                factor = max(factor, degrade.factor)
+        if factor > 1.0:
+            self.plan.stats.uplink_slowdowns += 1
+        return factor
+
+
 class FaultPlan:
     """A seeded, installable, resettable set of faults."""
 
@@ -268,6 +340,9 @@ class FaultPlan:
         self.cq_pressures: List[CqPressure] = []
         self.qp_errors: List[QpErrorEvent] = []
         self.daemon_crashes: List[DaemonCrash] = []
+        self.host_kills: List[HostKill] = []
+        self.uplink_degrades: List[UplinkDegrade] = []
+        self._degraded_ports: List = []
         self._crashes_fired: set = set()
         self.abort_boundary: Optional[str] = None
         self.stats = FaultStats()
@@ -310,6 +385,15 @@ class FaultPlan:
         self.daemon_crashes.append(DaemonCrash(node, boundary, down_s))
         return self
 
+    def host_kill(self, node: str, at_s: float, down_s: float) -> "FaultPlan":
+        self.host_kills.append(HostKill(node, at_s, down_s))
+        return self
+
+    def degrade_uplink(self, rack: str, start_s: float, end_s: float,
+                       factor: float) -> "FaultPlan":
+        self.uplink_degrades.append(UplinkDegrade(rack, start_s, end_s, factor))
+        return self
+
     def abort_at(self, boundary: str) -> "FaultPlan":
         from repro.core.orchestrator import PHASE_BOUNDARIES
 
@@ -330,6 +414,7 @@ class FaultPlan:
     def is_noop(self) -> bool:
         return not (self.rules or self.rnr_storms or self.cq_pressures
                     or self.qp_errors or self.daemon_crashes
+                    or self.host_kills or self.uplink_degrades
                     or self.abort_boundary)
 
     @property
@@ -365,6 +450,33 @@ class FaultPlan:
             tb.server(event.node)  # validate early
             sim.schedule(max(0.0, event.at_s - sim.now),
                          self._fire_qp_error, tb, event.node)
+        if self.host_kills:
+            world = getattr(tb, "world", None)
+            if world is None:
+                raise RuntimeError(
+                    "host_kill faults need a testbed with an installed "
+                    "MigrRdmaWorld (tb.world) for daemon up/down control")
+            for kill in self.host_kills:
+                tb.server(kill.node)  # validate early
+                sim.schedule(max(0.0, kill.at_s - sim.now),
+                             self._fire_host_kill, world, kill)
+        if self.uplink_degrades:
+            topology = getattr(network, "topology", None)
+            if topology is None:
+                raise RuntimeError(
+                    "degrade_uplink faults need a FatTreeTopology attached "
+                    "to the network (flat fabrics have no trunks)")
+            by_rack: Dict[str, List[UplinkDegrade]] = {}
+            for degrade in self.uplink_degrades:
+                topology.uplink(degrade.rack)  # validate early
+                by_rack.setdefault(degrade.rack, []).append(degrade)
+            for rack, degrades in by_rack.items():
+                port = topology.uplink(rack)
+                if port.contention_factor is not None:
+                    raise RuntimeError(
+                        f"uplink {rack} already has a contention hook")
+                port.contention_factor = _UplinkChaos(self, sim, degrades)
+                self._degraded_ports.append(port)
         self._installed_tb = tb
         return self
 
@@ -382,6 +494,11 @@ class FaultPlan:
             chaos = server.rnic.chaos
             if isinstance(chaos, _RnicChaos) and chaos.plan is self:
                 server.rnic.chaos = None
+        for port in self._degraded_ports:
+            if isinstance(port.contention_factor, _UplinkChaos) \
+                    and port.contention_factor.plan is self:
+                port.contention_factor = None
+        self._degraded_ports.clear()
         self._installed_tb = None
 
     def arm(self, migration) -> "FaultPlan":
@@ -407,6 +524,12 @@ class FaultPlan:
             migration.sim.schedule(crash.down_s, control.mark_daemon_up, node)
             self.stats.daemon_crashes += 1
 
+    def _fire_host_kill(self, world, kill: HostKill) -> None:
+        control = world.control
+        control.mark_daemon_down(kill.node)
+        world.sim.schedule(kill.down_s, control.mark_daemon_up, kill.node)
+        self.stats.host_kills += 1
+
     def _fire_qp_error(self, tb, node: str) -> None:
         from repro.rnic.constants import QPState, QPType
 
@@ -426,6 +549,10 @@ class FaultPlan:
                  f"{len(self.cq_pressures)} pressures",
                  f"{len(self.qp_errors)} qp-errors",
                  f"{len(self.daemon_crashes)} daemon-crashes"]
+        if self.host_kills:
+            parts.append(f"{len(self.host_kills)} host-kills")
+        if self.uplink_degrades:
+            parts.append(f"{len(self.uplink_degrades)} uplink-degrades")
         if self.abort_boundary:
             parts.append(f"abort@{self.abort_boundary}")
         return f"<FaultPlan {self.name} seed={self.seed}: {', '.join(parts)}>"

@@ -2,10 +2,18 @@
 
 A :class:`Server` is a physical machine: a fabric node with an RNIC.  A
 :class:`Container` groups application processes (each with its own virtual
-address space and CPU cycle ledger) and is the unit of live migration.  The
-:class:`Testbed` assembles the paper's six-server topology (migration
-source, migration destination, and communication partners) and provides the
-pairwise TCP channels the migration tool and control plane use.
+address space and CPU cycle ledger) and is the unit of live migration.
+
+Two assemblers build clusters on top of these parts:
+
+* :class:`ClusterBed` — the generic base: one simulator, one network, any
+  set of named servers, cached pairwise TCP channels.  The fleet builder
+  (:mod:`repro.fleet`) subclasses it to stand up racks of hosts on a
+  fat-tree topology.
+* :class:`Testbed` — the paper's evaluation topology (migration source,
+  migration destination, N communication partners) as a thin shim over
+  ``ClusterBed``; a two-node fleet is the degenerate case of the same
+  machinery.
 """
 
 from __future__ import annotations
@@ -179,41 +187,53 @@ class Server:
         return f"<Server {self.name}>"
 
 
-class Testbed:
-    """The evaluation topology: source, destination, N partners.
+class ClusterBed:
+    """Generic cluster assembler: simulator + network + named servers.
 
-    Also owns the lazily-created pairwise TCP channels used by the
-    migration tool (state transfer) and the MigrRDMA control plane
-    (partner notification, rkey fetches).
+    Owns the lazily-created pairwise TCP channels used by the migration
+    tool (state transfer) and the MigrRDMA control plane (partner
+    notification, rkey fetches).  Subclasses decide *which* servers exist:
+    :class:`Testbed` stands up the paper's src/dst/partners trio,
+    :class:`repro.fleet.Fleet` stands up racks of hosts on a fat-tree.
     """
 
-    def __init__(self, config: Optional[Config] = None, num_partners: int = 1):
-        # Restart the PID stream per testbed: pids name metrics and seed
+    def __init__(self, config: Optional[Config] = None):
+        # Restart the PID stream per bed: pids name metrics and seed
         # per-process CPU jitter (config.seed ^ pid), so leaking the
-        # counter across testbeds would make the second run of an
-        # identical scenario in one interpreter observably different.
+        # counter across beds would make the second run of an identical
+        # scenario in one interpreter observably different.
         global _pids
         _pids = itertools.count(1000)
+        # Same story for the RNIC QPN band stream: bands make QPNs (and
+        # so virtual QPNs) testbed-unique, and must restart with the bed.
+        from repro.rnic.nic import reset_qpn_bases
+        reset_qpn_bases()
         self.config = config or default_config()
         self.sim = Simulator(scheduler=getattr(self.config, "scheduler", "wheel"))
         self.network = Network(self.sim, self.config)
-        self.source = Server(self.sim, self.network, "src", self.config)
-        self.destination = Server(self.sim, self.network, "dst", self.config)
-        self.partners: List[Server] = [
-            Server(self.sim, self.network, f"partner{i}", self.config)
-            for i in range(num_partners)
-        ]
+        self._server_list: List[Server] = []
+        self._servers_by_name: Dict[str, Server] = {}
         self._channels: Dict[Tuple[str, str], TcpChannel] = {}
+
+    def add_server(self, name: str) -> Server:
+        """Create and register a server; order of creation is the order
+        :attr:`servers` reports (and therefore part of determinism)."""
+        if name in self._servers_by_name:
+            raise ValueError(f"duplicate server name {name!r}")
+        server = Server(self.sim, self.network, name, self.config)
+        self._server_list.append(server)
+        self._servers_by_name[name] = server
+        return server
 
     @property
     def servers(self) -> List[Server]:
-        return [self.source, self.destination] + self.partners
+        return list(self._server_list)
 
     def server(self, name: str) -> Server:
-        for server in self.servers:
-            if server.name == name:
-                return server
-        raise LookupError(f"unknown server {name!r}")
+        try:
+            return self._servers_by_name[name]
+        except KeyError:
+            raise LookupError(f"unknown server {name!r}") from None
 
     def channel(self, a: str, b: str) -> TcpChannel:
         """The (cached) TCP channel between servers ``a`` and ``b``."""
@@ -231,6 +251,24 @@ class Testbed:
         if isinstance(process_or_gen, Generator):
             process_or_gen = self.sim.spawn(process_or_gen)
         return self.sim.run_until_complete(process_or_gen, limit=limit)
+
+
+class Testbed(ClusterBed):
+    """The evaluation topology: source, destination, N partners.
+
+    A back-compat shim over :class:`ClusterBed` that creates the paper's
+    servers in the exact historical order ("src", "dst", "partner0", ...),
+    which keeps the pid stream — and with it every simtime-equivalence
+    pin — bit-identical to the pre-fleet assembler.
+    """
+
+    def __init__(self, config: Optional[Config] = None, num_partners: int = 1):
+        super().__init__(config)
+        self.source = self.add_server("src")
+        self.destination = self.add_server("dst")
+        self.partners: List[Server] = [
+            self.add_server(f"partner{i}") for i in range(num_partners)
+        ]
 
 
 def build(config: Optional[Config] = None, num_partners: int = 1) -> Testbed:

@@ -62,14 +62,31 @@ class MigrRdmaPlugin(CriuPlugin):
 
     def partner_map(self, container: Container) -> Dict[str, List[int]]:
         """partner node -> list of the *partner's* physical QPNs connected
-        to this service (from the QP metadata fields §3.2 adds)."""
+        to this service (from the QP metadata fields §3.2 adds).
+
+        A partner may live on the migration source or destination host —
+        the paper's testbed never colocates peers, but fleet placements
+        do routinely (a drain can land a container next to its peer).
+        The control plane short-circuits same-server calls, so those
+        partners run the ordinary notify/pre-setup/switchover flow.  Only
+        QPs connected to the migrating container *itself* (self-loops:
+        both ends move together) are skipped.
+        """
+        own_pqpns: Set[int] = set()
+        for _pid, state in self._states(container):
+            for record in state.qp_records():
+                phys = state.resources.get(record.rid)
+                qpn = getattr(phys, "qpn", None)
+                if qpn is not None:
+                    own_pqpns.add(qpn)
         partners: Dict[str, List[int]] = {}
         for _pid, state in self._states(container):
             for record in state.qp_records():
                 conn = record.args.get("conn")
                 if conn is None or conn.remote_node is None:
                     continue
-                if conn.remote_node in (self.source.name, self.dest.name):
+                if (conn.remote_node == self.source.name
+                        and conn.remote_pqpn in own_pqpns):
                     continue
                 partners.setdefault(conn.remote_node, []).append(conn.remote_pqpn)
         return partners

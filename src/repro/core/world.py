@@ -127,10 +127,12 @@ class PartnerAgent:
             # Old pQPN and new pQPN both translate to the same vQPN (§3.4).
             self.layer.qpn_table.set(new_qp.qpn, vqp.vqpn)
             # Exchange new physical QPNs with the migration destination,
-            # retrying until its restored QP exists.
+            # retrying until its restored QP exists.  ``call_local_or_remote``:
+            # this partner may *be* the destination (fleet placements
+            # colocate peers), in which case the exchange is a local call.
             while service_id not in self.cancelled:
                 try:
-                    result = yield from self.world.control.call(
+                    result = yield from self.world.control.call_local_or_remote(
                         self.server.name, dest, "presetup_exchange",
                         {"service_id": service_id, "partner_node": self.server.name,
                          "old_partner_pqpn": pqpn, "new_partner_pqpn": new_qp.qpn},
@@ -251,11 +253,12 @@ class PartnerAgent:
 
     def _batch_prefetch(self, lib: MigrRdmaGuestLib, service_id: str, dest: str,
                         vrkeys: List[int]):
-        """Re-warm the rkey cache from the destination in one batch RPC,
-        retrying until the restored state is resolvable there."""
+        """Re-warm the rkey cache from the destination in one batch RPC
+        (local when the service landed on this very host), retrying until
+        the restored state is resolvable there."""
         for _attempt in range(200):
             try:
-                result = yield from self.world.control.call(
+                result = yield from self.world.control.call_local_or_remote(
                     self.server.name, dest, "resolve_rkey_batch",
                     {"service_id": service_id, "vrkeys": vrkeys},
                     req_size=64 + 8 * len(vrkeys),

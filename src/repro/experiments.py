@@ -12,6 +12,8 @@ Usage::
     python -m repro.experiments trace [--qps 8] [--out trace.json]
     python -m repro.experiments torture [--seed 7] [--runs 25] [--jobs 4]
     python -m repro.experiments recovery [--kill-dest-at precopy-dumped] [--jobs 2]
+    python -m repro.experiments fleet [--hosts 8 --racks 2] [--policy drain
+        --target rack0] [--concurrency 1,2,4] [--kill-host r0h0] [--jobs 3]
 
 Every sweep command takes ``--jobs N`` (0 = all cores) and fans its
 independent simulation points over a spawn worker pool via
@@ -292,6 +294,59 @@ def cmd_recovery(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    if args.hosts < 2 or args.hosts % args.racks:
+        print(f"--hosts must be a multiple of --racks "
+              f"(got {args.hosts} hosts, {args.racks} racks)", file=sys.stderr)
+        return 2
+    hosts_per_rack = args.hosts // args.racks
+    specs = [TaskSpec(f"{_RUNNERS}.fleet_run",
+                      dict(racks=args.racks, hosts_per_rack=hosts_per_rack,
+                           containers=args.containers, policy=args.policy,
+                           target=args.target, seed=args.seed,
+                           concurrency=concurrency, placement=args.placement,
+                           oversubscription=args.oversub,
+                           kill_host=args.kill_host, kill_at=args.kill_at,
+                           degrade_rack=args.degrade_rack,
+                           degrade_factor=args.degrade_factor),
+                      label=f"fleet:c{concurrency}")
+             for concurrency in args.concurrency]
+    results, failed = _sweep(specs, args.jobs)
+    print(f"{'conc':>5}{'planned':>9}{'done':>6}{'failed':>8}"
+          f"{'drain_ms':>10}{'p50_ms':>8}{'p99_ms':>8}{'peak':>6}"
+          f"{'invariants':>12}")
+    violations = 0
+    for result in results:
+        if not result.ok:
+            continue
+        row = result.value
+        if not row["invariants_ok"]:
+            violations += 1
+            for violation in row["violations"]:
+                print(f"  VIOLATION c={row['concurrency']}: {violation}",
+                      file=sys.stderr)
+        blackout = row["blackout"]
+        print(f"{row['concurrency']:>5}{row['jobs_planned']:>9}"
+              f"{row['completed']:>6}{row['failed']:>8}"
+              f"{row['drain_s'] * 1e3:>10.1f}"
+              f"{(blackout['p50'] or 0) * 1e3:>8.1f}"
+              f"{(blackout['p99'] or 0) * 1e3:>8.1f}"
+              f"{row['max_concurrency']:>6}"
+              f"{'ok' if row['invariants_ok'] else 'VIOLATED':>12}")
+        for link, stats in row["links"].items():
+            backlog = row["link_peak_backlog"].get(link, 0)
+            print(f"        {link:<12} util {stats['utilization'] * 100:6.2f}%"
+                  f"   {stats['bytes']:>12} B"
+                  f"   peak backlog {backlog / 1e3:8.1f} KB")
+        print(f"        digest {row['digest'][:16]}  "
+              f"fleet {row['fleet_digest'][:16]}")
+    if failed or violations:
+        return 1
+    print(f"fleet {args.policy} of {args.target!r} clean at every "
+          f"concurrency ({','.join(str(c) for c in args.concurrency)})")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--profile", action="store_true",
@@ -354,6 +409,36 @@ def main(argv=None) -> int:
                          "('random' = pick one per case)")
     add_jobs(px)
 
+    pf = sub.add_parser("fleet",
+                        help="fleet-scale drain/rebalance/evict under "
+                             "admission control")
+    pf.add_argument("--hosts", type=int, default=8,
+                    help="total hosts (must divide evenly into --racks)")
+    pf.add_argument("--racks", type=int, default=2)
+    pf.add_argument("--containers", type=int, default=32)
+    pf.add_argument("--policy", choices=["drain", "rebalance", "evict"],
+                    default="drain")
+    pf.add_argument("--target", default="rack0",
+                    help="host/rack to drain, or comma-separated containers "
+                         "to evict (unused by rebalance)")
+    pf.add_argument("--seed", type=int, default=7)
+    pf.add_argument("--concurrency", type=_csv_ints, default=[4],
+                    metavar="N[,N...]",
+                    help="admission-limit sweep, one fleet run per value")
+    pf.add_argument("--placement",
+                    choices=["pack", "spread", "least-loaded"],
+                    default="least-loaded")
+    pf.add_argument("--oversub", type=float, default=4.0,
+                    help="ToR trunk oversubscription factor")
+    pf.add_argument("--kill-host", default=None, metavar="HOST",
+                    help="kill HOST's daemon mid-drain (torture overlay)")
+    pf.add_argument("--kill-at", type=float, default=0.05, metavar="T",
+                    help="sim seconds after traffic start for --kill-host")
+    pf.add_argument("--degrade-rack", default=None, metavar="RACK",
+                    help="slow RACK's ToR uplink during the drain")
+    pf.add_argument("--degrade-factor", type=float, default=4.0)
+    add_jobs(pf)
+
     pr = sub.add_parser("recovery",
                         help="supervised recovery from destination crashes")
     pr.add_argument("--seed", type=int, default=0)
@@ -368,7 +453,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.command == "list":
         for name in ("fig3", "fig4", "fig5", "table4", "fig6", "migros",
-                     "trace", "torture", "recovery"):
+                     "trace", "torture", "recovery", "fleet"):
             print(name)
         return 0
     handler = globals()[f"cmd_{args.command}"]

@@ -6,11 +6,16 @@ that serializes transmissions at line rate — so RDMA traffic, migration TCP
 traffic and control messages naturally contend for the same wire, which is
 what produces the brownout effects in Figure 5.  A configurable loss model
 supports the "buggy network" wait-before-stop experiments (§3.4).
+
+For fleet-scale scenarios, :class:`~repro.fabric.topology.FatTreeTopology`
+extends the flat switch to racks of hosts behind oversubscribed ToR trunk
+ports, so concurrent migrations contend for shared uplink bandwidth.
 """
 
 from repro.fabric.message import Message
 from repro.fabric.port import Port
 from repro.fabric.network import Network, Node
 from repro.fabric.tcp import TcpChannel
+from repro.fabric.topology import FatTreeTopology
 
-__all__ = ["Message", "Network", "Node", "Port", "TcpChannel"]
+__all__ = ["FatTreeTopology", "Message", "Network", "Node", "Port", "TcpChannel"]

@@ -88,6 +88,10 @@ class Network:
         #: of clean-window bulk traffic); any fault source disables it at
         #: the per-WR gate independently of this flag.
         self.flow_aggregation = getattr(self.config, "flow_aggregation", True)
+        #: optional multi-hop routing (see :mod:`repro.fabric.topology`);
+        #: ``None`` keeps the flat one-hop switch, byte-identical to the
+        #: paper's testbed.  Installed via ``FatTreeTopology.attach``.
+        self.topology = None
 
     def add_node(self, name: str, rate_bps: Optional[float] = None) -> Node:
         if name in self.nodes:
@@ -165,6 +169,10 @@ class Network:
                 if not verdict:
                     self.messages_dropped += 1
                     return
+                if self.topology is not None:
+                    for extra in verdict:
+                        self.topology.route(message, extra)
+                    return
                 dst = self.node(message.dst)
                 base = self.config.link.propagation_delay_s
                 for extra in verdict:
@@ -172,6 +180,9 @@ class Network:
                 return
         if self.loss_rate and self._rng.random() < self.loss_rate:
             self.messages_dropped += 1
+            return
+        if self.topology is not None:
+            self.topology.route(message)
             return
         dst = self.node(message.dst)
         self.sim.schedule(self.config.link.propagation_delay_s, dst.deliver, message)

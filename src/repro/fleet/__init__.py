@@ -1,0 +1,42 @@
+"""repro.fleet — cluster-scale concurrent migration orchestration.
+
+The layer above the paper's per-migration state machine: tens of hosts
+in racks behind oversubscribed fat-tree trunks
+(:class:`~repro.fabric.FatTreeTopology`), a state store of placements
+and capacity (:class:`FleetState`), a policy-driven scheduler
+(:class:`MigrationScheduler` — rolling drains, rebalancing, evictions —
+under :class:`AdmissionLimits`), and aggregate reporting
+(:class:`FleetReport`: blackout distribution, drain completion time,
+per-trunk utilisation).
+
+Quickstart::
+
+    from repro.fleet import AdmissionLimits, MigrationScheduler, build_fleet
+
+    fleet = build_fleet(racks=2, hosts_per_rack=4, containers=16, seed=7)
+    fleet.run(fleet.setup())
+    fleet.start_traffic()
+    sched = MigrationScheduler(fleet, limits=AdmissionLimits(fleet=4))
+    report = fleet.run(sched.execute(sched.plan("drain", "rack0")))
+    print(report.render())
+
+See DESIGN.md §13 and ``examples/fleet_drain.py``.
+"""
+
+from repro.fleet.builder import Fleet, FleetSpec, build_fleet
+from repro.fleet.report import FleetReport, MigrationOutcome
+from repro.fleet.scheduler import (
+    AdmissionLimits,
+    MigrationJob,
+    MigrationScheduler,
+    PLACEMENT_POLICIES,
+    SCHEDULING_POLICIES,
+)
+from repro.fleet.state import ContainerInfo, FleetState, HostInfo
+
+__all__ = [
+    "AdmissionLimits", "ContainerInfo", "Fleet", "FleetReport", "FleetSpec",
+    "FleetState", "HostInfo", "MigrationJob", "MigrationOutcome",
+    "MigrationScheduler", "PLACEMENT_POLICIES", "SCHEDULING_POLICIES",
+    "build_fleet",
+]

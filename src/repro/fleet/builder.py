@@ -1,0 +1,168 @@
+"""Fleet assembly: racks of hosts, a fat-tree fabric, a running workload.
+
+:class:`Fleet` is a :class:`~repro.cluster.ClusterBed` — the same
+substrate the paper's two-node :class:`~repro.cluster.Testbed` is built
+on — that stands up ``racks × hosts_per_rack`` servers behind a
+:class:`~repro.fabric.FatTreeTopology`, installs the MigrRDMA world on
+every host, registers everything in a :class:`~repro.fleet.state.FleetState`,
+and populates the hosts with paired perftest containers (RDMA WRITE
+sender → receiver, one QP pair each, paced so hundreds of endpoints stay
+tractable).  A two-host, one-rack fleet is the degenerate case: same
+wiring as the Testbed, no oversubscribed trunk in the path.
+
+Container naming is positional (``ct000``, ``ct001``, ...) and *names*
+are the identity the fleet layers use everywhere — ``container_id``
+values depend on interpreter history and never appear in digests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.perftest import PerftestEndpoint, connect_endpoints
+from repro.cluster import ClusterBed, Container
+from repro.config import Config, MiB, default_config
+from repro.core import MigrRdmaWorld
+from repro.fabric import FatTreeTopology
+
+from .state import FleetState
+
+__all__ = ["Fleet", "FleetSpec", "build_fleet"]
+
+
+@dataclass
+class FleetSpec:
+    """Shape and workload parameters of a fleet."""
+
+    racks: int = 2
+    hosts_per_rack: int = 4
+    containers: int = 16
+    #: ToR trunk oversubscription: trunk rate = hosts * NIC rate / this
+    oversubscription: float = 4.0
+    #: overrides config.seed when set (the determinism knob sweeps turn)
+    seed: Optional[int] = None
+    #: per-host capacity the state store enforces at placement time
+    qp_quota: int = 64
+    host_memory_bytes: int = 64 * MiB
+    #: per-container workload: paced RDMA WRITE stream + synthetic heap
+    msg_size: int = 8192
+    depth: int = 4
+    pace_s: float = 200e-6
+    heap_bytes: int = 2 * MiB
+    heap_dirty_bps: float = 8 * MiB
+    verify_content: bool = True
+
+    def __post_init__(self):
+        if self.racks < 1:
+            raise ValueError(f"racks must be >= 1, got {self.racks}")
+        if self.hosts_per_rack < 1:
+            raise ValueError(
+                f"hosts_per_rack must be >= 1, got {self.hosts_per_rack}")
+        if self.racks * self.hosts_per_rack < 2:
+            raise ValueError("a fleet needs at least 2 hosts")
+        if self.containers < 2:
+            raise ValueError(f"containers must be >= 2, got {self.containers}")
+
+
+class Fleet(ClusterBed):
+    """A multi-rack cluster with a live, migratable workload."""
+
+    def __init__(self, spec: Optional[FleetSpec] = None,
+                 config: Optional[Config] = None):
+        self.spec = spec = spec or FleetSpec()
+        config = config or default_config()
+        if spec.seed is not None:
+            config = config.replace(seed=spec.seed)
+        super().__init__(config)
+        rack_map: Dict[str, List[str]] = {
+            f"rack{r}": [f"r{r}h{h}" for h in range(spec.hosts_per_rack)]
+            for r in range(spec.racks)
+        }
+        for hosts in rack_map.values():
+            for name in hosts:
+                self.add_server(name)
+        self.topology = FatTreeTopology(
+            self.sim, config, rack_map,
+            oversubscription=spec.oversubscription).attach(self.network)
+        self.world = MigrRdmaWorld(self)
+        self.state = FleetState()
+        for rack, hosts in rack_map.items():
+            for name in hosts:
+                self.state.add_host(name, rack, qp_quota=spec.qp_quota,
+                                    memory_bytes=spec.host_memory_bytes)
+        self.endpoints: List[PerftestEndpoint] = []
+        self.pairs: List[Tuple[PerftestEndpoint, PerftestEndpoint]] = []
+        self._build_workload()
+
+    # ------------------------------------------------------------------
+    # workload
+
+    def _build_workload(self) -> None:
+        """Paired endpoints: sender ``ct{2k}`` on host ``k mod n``,
+        receiver ``ct{2k+1}`` offset a rack away (or one host over in a
+        single-rack fleet) so steady-state traffic crosses the trunks."""
+        spec = self.spec
+        hosts = list(self.state.hosts)
+        offset = spec.hosts_per_rack if spec.racks > 1 else 1
+        for i in range(spec.containers):
+            pair = i // 2
+            if i % 2 == 0:
+                host = hosts[pair % len(hosts)]
+            else:
+                host = hosts[(pair + offset) % len(hosts)]
+            name = f"ct{i:03d}"
+            server = self.server(host)
+            container = server.create_container(name)
+            endpoint = PerftestEndpoint(
+                server, name=name, world=self.world, container=container,
+                msg_size=spec.msg_size, depth=spec.depth, mode="write",
+                verify_content=spec.verify_content, pace_s=spec.pace_s)
+            endpoint.process.set_synthetic_heap(spec.heap_bytes,
+                                                spec.heap_dirty_bps)
+            self.endpoints.append(endpoint)
+            self.state.add_container(
+                name, host, qps=1,
+                memory_bytes=spec.heap_bytes
+                + endpoint.buffer_bytes_per_qp())
+        for k in range(spec.containers // 2):
+            self.pairs.append((self.endpoints[2 * k], self.endpoints[2 * k + 1]))
+
+    def setup(self):
+        """Generator: verbs resources + QP connections for every pair."""
+        for tx, rx in self.pairs:
+            yield from tx.setup(qp_budget=1)
+            yield from rx.setup(qp_budget=1)
+            yield from connect_endpoints(tx, rx, qp_count=1)
+        # An odd trailing container carries no RDMA traffic but still has
+        # a process + heap, so it migrates like any other.
+        if len(self.endpoints) % 2:
+            yield from self.endpoints[-1].setup(qp_budget=1)
+
+    def start_traffic(self) -> None:
+        """WRITE mode: only senders run loops (one-sided, no receiver)."""
+        for tx, _rx in self.pairs:
+            tx.start_as_sender()
+
+    def quiesce(self):
+        """Generator: stop senders, drain in-flight completions."""
+        from repro.chaos.torture import quiesce
+        result = yield from quiesce(self, self.endpoints)
+        return result
+
+    # ------------------------------------------------------------------
+    # lookups
+
+    def container(self, name: str) -> Container:
+        """The live container object, wherever it currently lives."""
+        return self.server(self.state.host_of(name)).containers[name]
+
+    def __repr__(self) -> str:
+        return (f"<Fleet racks={self.spec.racks} "
+                f"hosts={len(self.state.hosts)} "
+                f"containers={len(self.state.containers)}>")
+
+
+def build_fleet(**kwargs) -> Fleet:
+    """Convenience constructor: ``build_fleet(racks=2, containers=16)``."""
+    return Fleet(FleetSpec(**kwargs))

@@ -196,6 +196,26 @@ class MetricsRegistry:
                 for name, value in stats.as_dict().items():
                     self.gauge(f"resilience.{name}").set(value)
 
+    def scrape_fleet(self, fleet) -> None:
+        """Fleet state store + fat-tree trunk accounting.
+
+        Part of the digested surface (unlike :meth:`scrape_perf`): where
+        containers ended up and how many bytes crossed each trunk are
+        *results* of a fleet run, so same-seed runs must agree on them
+        bit-for-bit across ``--jobs`` settings.
+        """
+        state = fleet.state
+        self.gauge("fleet.hosts").set(len(state.hosts))
+        self.gauge("fleet.containers").set(len(state.containers))
+        self.gauge("fleet.draining").set(len(state.draining))
+        for name in state.hosts:
+            self.gauge(f"fleet.host.{name}.containers").set(state.load(name))
+            self.gauge(f"fleet.host.{name}.qps").set(state.qp_usage(name))
+        topology = getattr(fleet, "topology", None)
+        if topology is not None:
+            for link, port in topology.trunk_ports().items():
+                self.gauge(f"fleet.link.{link}.bytes").set(port.bytes_sent)
+
     def scrape_chaos(self, plan) -> None:
         """Injection counters from a :class:`repro.chaos.FaultPlan`."""
         for name, value in plan.stats.as_dict().items():

@@ -5,8 +5,10 @@ must stay importable from a spawn worker (no closures, no lambdas), take
 plain-data kwargs, and return plain data (dicts, or dataclasses made of
 plain fields) so the results pickle back to the parent.
 
-Each runner builds its own :class:`~repro.cluster.Testbed` — whose
-constructor restarts the global PID stream — so a point's result depends
+Each runner builds its own :class:`~repro.cluster.Testbed` or
+:class:`~repro.cluster.ClusterBed` (fleet runners build whole racks) —
+whose constructor restarts the global PID stream and the per-NIC QPN
+band stream — so a point's result depends
 only on the runner's arguments, never on which process or in which order
 it ran.  That property is what makes ``--jobs N`` digests bit-identical
 to ``--jobs 1`` (pinned by ``tests/integration/test_parallel_determinism``).
@@ -385,6 +387,103 @@ def scale_run(num_qps: int, msg_size: int = 65536, depth: int = 8,
         "flow_expressed": sum(s.rnic.flow_expressed for s in tb.servers),
         "flow_fallbacks": sum(s.rnic.flow_fallbacks for s in tb.servers),
         "flow_materialized": sum(s.rnic.flow_materialized for s in tb.servers),
+    }
+
+
+def fleet_run(racks: int = 2, hosts_per_rack: int = 4, containers: int = 16,
+              policy: str = "drain", target: str = "rack0", seed: int = 7,
+              concurrency: int = 4, placement: str = "least-loaded",
+              oversubscription: float = 4.0,
+              kill_host: Optional[str] = None, kill_at: float = 0.05,
+              kill_down_s: float = 0.05,
+              degrade_rack: Optional[str] = None,
+              degrade_start_s: float = 0.0, degrade_end_s: float = 0.5,
+              degrade_factor: float = 4.0) -> Dict[str, object]:
+    """One fleet point: build a fleet, run a scheduling policy under
+    admission control, check every invariant (including
+    ``fleet-placement``), and return the digested outcome.
+
+    ``concurrency`` sets every :class:`~repro.fleet.AdmissionLimits` cap,
+    so the fleet-wide limit is the binding one — that's the knob the
+    experiments CLI sweeps to show trunk contention.  ``kill_host``
+    schedules a :class:`~repro.chaos.HostKill` at ``kill_at`` (the
+    torture overlay: a host dies mid-drain and the supervisors reroute);
+    ``degrade_rack`` slows that rack's ToR trunk by ``degrade_factor``.
+    """
+    from repro.chaos import FaultPlan
+    from repro.chaos.invariants import DEFAULT_REGISTRY, InvariantContext, run_digest
+    from repro.fleet import AdmissionLimits, MigrationScheduler, build_fleet
+
+    wall_start = time.perf_counter()
+    fleet = build_fleet(racks=racks, hosts_per_rack=hosts_per_rack,
+                        containers=containers,
+                        oversubscription=oversubscription, seed=seed)
+    fleet.run(fleet.setup())
+    plan = FaultPlan(seed=seed, name=f"fleet-{seed}")
+    if kill_host is not None:
+        plan.host_kill(kill_host, at_s=fleet.sim.now + kill_at,
+                       down_s=kill_down_s)
+    if degrade_rack is not None:
+        plan.degrade_uplink(degrade_rack,
+                            start_s=fleet.sim.now + degrade_start_s,
+                            end_s=fleet.sim.now + degrade_end_s,
+                            factor=degrade_factor)
+    chaos = None
+    if not plan.is_noop:
+        plan.install(fleet)
+        chaos = plan
+    fleet.start_traffic()
+    limits = AdmissionLimits(fleet=concurrency, per_host=concurrency,
+                             per_rack=concurrency, per_uplink=concurrency)
+    scheduler = MigrationScheduler(fleet, limits=limits, placement=placement,
+                                   chaos=chaos)
+    jobs = scheduler.plan(policy, target)
+
+    def flow():
+        freport = yield from scheduler.execute(jobs)
+        yield fleet.sim.timeout(3e-3)
+        yield from fleet.quiesce()
+        return freport
+
+    report = fleet.run(flow(), limit=1200.0)
+    ctx = InvariantContext(fleet, world=fleet.world,
+                           endpoints=fleet.endpoints, pairs=fleet.pairs,
+                           reports=scheduler.migration_reports, plan=chaos,
+                           fleet=fleet)
+    inv = DEFAULT_REGISTRY.run(ctx)
+    wall_s = time.perf_counter() - wall_start
+    return {
+        "racks": racks,
+        "hosts": racks * hosts_per_rack,
+        "containers": containers,
+        "policy": policy,
+        "target": target,
+        "seed": seed,
+        "concurrency": concurrency,
+        "placement": placement,
+        "oversubscription": oversubscription,
+        "kill_host": kill_host,
+        "degrade_rack": degrade_rack,
+        "jobs_planned": len(jobs),
+        "migrations": report.migrations,
+        "completed": report.completed,
+        "failed": report.failed,
+        "max_concurrency": report.max_concurrency,
+        "drain_s": report.drain_completion_s,
+        "blackout": report.blackout_summary(),
+        "links": report.link_stats,
+        "link_peak_backlog": dict(report.link_peak_backlog),
+        "outcomes": [o.line() for o in report.outcomes],
+        "attempts_total": sum(o.attempts for o in report.outcomes),
+        "chaos": None if chaos is None else chaos.stats.as_dict(),
+        "invariants_checked": list(inv.checked),
+        "invariants_ok": inv.ok,
+        "violations": [f"{name}: {message}" for name, message in inv.violations],
+        "digest": run_digest(ctx, inv),
+        "fleet_digest": report.digest(),
+        "sim_now": fleet.sim.now,
+        "events_processed": fleet.sim.events_processed,
+        "wall_s": wall_s,
     }
 
 

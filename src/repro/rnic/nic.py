@@ -49,6 +49,24 @@ from repro.sim import Interrupt, Queue, Simulator
 
 _nic_ids = itertools.count(1)
 
+#: Each NIC allocates QPNs from its own band of the 24-bit space (band
+#: size >= config.rnic.max_qps), so physical QPNs — and therefore the
+#: virtual QPNs that equal them at creation time — are unique across a
+#: whole testbed.  Uniqueness is what lets two migrated containers share
+#: one destination host without their virtual QPN namespaces colliding
+#: in the indirection layer's ``vqpn_index``.
+QPN_BAND = 0x4000
+
+_qpn_bases = itertools.count(0)
+
+
+def reset_qpn_bases() -> None:
+    """Restart the QPN band allocator (one testbed = one deterministic
+    stream, same contract as the cluster's global PID counter)."""
+    global _qpn_bases
+    _qpn_bases = itertools.count(0)
+
+
 RDMA_PROTOCOL = "rdma"
 
 #: Retransmission policy.  RNR_RETRY of 7 means infinite per the IB spec —
@@ -308,7 +326,8 @@ class RNIC:
         self.config = config
         self.name = f"rnic:{node.name}:{next(_nic_ids)}"
 
-        self._qpn_iter = itertools.count(0x000100)
+        self._qpn_iter = itertools.count(
+            0x000100 + (next(_qpn_bases) * QPN_BAND) % QPN_SPACE)
         # crc32, not hash(): key values must not depend on the interpreter's
         # string-hash randomization, or parallel sweep workers would diverge
         # from an in-process run of the same seed.

@@ -26,6 +26,7 @@ EXAMPLES = {
     "virtualization_overhead.py": [],
     "hadoop_maintenance.py": ["--fast"],
     "trace_migration.py": ["smoke_trace.json"],
+    "fleet_drain.py": [],
 }
 
 #: Generous per-script ceiling; the slowest example runs well under this.
