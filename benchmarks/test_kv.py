@@ -1,0 +1,128 @@
+"""KV store under a noisy neighbour: victim GET tail latency and
+migration blackout per noise level.
+
+The KV claim is first a correctness claim — every registered invariant
+(including ``kv-linearizable``) and the full WorkloadContract stay
+clean while the victim tenant migrates mid-traffic — and then an
+isolation claim: an unshaped neighbour blowing line rate inflates the
+victim's p99 GET latency, and the token bucket pulls the neighbour's
+throughput back under its configured bound.  ``BENCH_kv.json`` lands
+the victim p99 and blackout sim-times per noise level; both are guarded
+against >30% regressions the same way ``BENCH_fleet.json`` guards drain
+times.
+
+``REPRO_BENCH_FULL=1`` runs the paper-scale cell (2 clients, 48 keys,
+depth 4).
+"""
+
+import json
+import os
+from pathlib import Path
+
+from bench_common import FULL_MODE
+
+from repro.parallel import TaskSpec, run_tasks
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_FILE = REPO_ROOT / "BENCH_kv.json"
+
+#: (label, kvstore_run noise kwargs) per sweep point.
+NOISE_POINTS = [
+    ("off", dict(noise=False)),
+    ("unshaped", dict(noise=True, noise_limit_gbps=None)),
+    ("40gbps", dict(noise=True, noise_limit_gbps=40.0)),
+]
+
+BASE = (dict(seed=7, n_clients=2, keyspace=48, depth=4) if FULL_MODE else
+        dict(seed=7, n_clients=1, keyspace=24, depth=2,
+             noise_msg_size=131072, noise_depth=4, settle_s=2e-3,
+             readback_keys=4))
+
+#: New victim-p99/blackout sim-times may be at most this multiple of the
+#: previous run's (they are sim-times, so in practice they are exact).
+GUARD_TOLERANCE = 1.30
+
+
+def test_kv_noisy_neighbour_isolation():
+    specs = [TaskSpec("repro.parallel.runners.kvstore_run",
+                      dict(BASE, **noise_kwargs),
+                      label=f"kv:{label}")
+             for label, noise_kwargs in NOISE_POINTS]
+    results = run_tasks(specs, jobs=1)
+    assert all(r.ok for r in results), [r.error for r in results if not r.ok]
+    points = dict(zip([label for label, _ in NOISE_POINTS],
+                      [r.value for r in results]))
+
+    from repro.chaos.invariants import DEFAULT_REGISTRY
+
+    expected_invariants = set(DEFAULT_REGISTRY.names())
+    for label, point in points.items():
+        assert set(point["invariants_checked"]) == expected_invariants, \
+            point["invariants_checked"]
+        assert point["invariants_ok"], (label, point["violations"])
+        assert not point["contract_violations"], (label, point)
+        assert point["gets"] > 0 and point["puts"] > 0
+        assert point["blackout_ms"] > 0
+
+    # Isolation shape: the unshaped neighbour inflates the victim's tail;
+    # shaping claws it back toward the quiet baseline.
+    assert (points["off"]["victim_get_p99_us"]
+            <= points["unshaped"]["victim_get_p99_us"])
+    assert (points["40gbps"]["victim_get_p99_us"]
+            <= points["unshaped"]["victim_get_p99_us"])
+    # The token bucket actually binds: the shaped neighbour stays within
+    # its admission bound and was throttled on the way.
+    shaped = points["40gbps"]
+    assert shaped["noise_within_bound"]
+    assert shaped["noise_throttle_events"] > 0
+    assert shaped["noise_gbps"] <= 40.0 * 1.01
+    assert points["unshaped"]["noise_gbps"] > shaped["noise_gbps"]
+
+    result = {
+        "scenario": (f"kvstore_run victim migration under noisy neighbour "
+                     f"({BASE['n_clients']} clients, {BASE['keyspace']} keys, "
+                     f"depth {BASE['depth']})"),
+        "points": [
+            {
+                "noise": label,
+                "victim_get_p50_us": round(point["victim_get_p50_us"], 3),
+                "victim_get_p99_us": round(point["victim_get_p99_us"], 3),
+                "blackout_ms": round(point["blackout_ms"], 3),
+                "gets": point["gets"],
+                "puts": point["puts"],
+                "cas_acquired": point["cas_acquired"],
+                "noise_gbps": round(point.get("noise_gbps", 0.0), 3),
+                "noise_throttle_events": point.get("noise_throttle_events", 0),
+                "wallclock_s": round(point["wall_s"], 4),
+                "events_processed": point["events_processed"],
+                "invariants_ok": point["invariants_ok"],
+                "digest": point["digest"],
+            }
+            for label, point in points.items()
+        ],
+    }
+
+    previous = None
+    if RESULT_FILE.exists():
+        try:
+            previous = json.loads(RESULT_FILE.read_text())
+        except (ValueError, OSError):
+            previous = None
+    RESULT_FILE.write_text(json.dumps(result, indent=2) + "\n")
+
+    if previous is not None and not os.environ.get("REPRO_BENCH_NO_GUARD"):
+        prev_points = {p.get("noise"): p for p in previous.get("points", [])}
+        for point in result["points"]:
+            prev = prev_points.get(point["noise"])
+            if not prev:
+                continue
+            for metric in ("victim_get_p99_us", "blackout_ms"):
+                if not prev.get(metric):
+                    continue
+                ceiling = prev[metric] * GUARD_TOLERANCE
+                assert point[metric] <= ceiling, (
+                    f"kv noise={point['noise']} {metric} regressed: "
+                    f"{point[metric]} vs previous {prev[metric]} (ceiling "
+                    f"{ceiling:.3f}, tolerance {GUARD_TOLERANCE:.0%}). If the "
+                    f"slowdown is expected, commit the new BENCH_kv.json "
+                    f"or set REPRO_BENCH_NO_GUARD=1.")

@@ -88,7 +88,8 @@ class PerftestEndpoint:
                  world=None, container: Optional[Container] = None,
                  msg_size: int = 65536, depth: int = 64,
                  mode: str = "write", verify_content: bool = False,
-                 sample_cycles: bool = False, pace_s: float = 0.0):
+                 sample_cycles: bool = False, pace_s: float = 0.0,
+                 tenant: Optional[str] = None):
         if mode not in _MODE_OPCODE:
             raise ValueError(f"unknown perftest mode {mode!r}")
         if pace_s < 0:
@@ -108,6 +109,8 @@ class PerftestEndpoint:
         #: a paced sender posts at most one WR per QP per tick, capping
         #: event rate at ~1/pace_s per connection.
         self.pace_s = pace_s
+        #: per-tenant QoS identity carried on every QP this endpoint creates
+        self.tenant = tenant
 
         self.container = container or server.create_container(f"{self.name}-ct")
         self.process = self.container.add_process(self.name, record_samples=sample_cycles)
@@ -153,7 +156,8 @@ class PerftestEndpoint:
     def add_qp(self):
         """Generator: create one more QP on the shared CQ."""
         qp = yield from self.lib.create_qp(
-            self.pd, QPType.RC, self.cq, self.cq, self.depth + 1, self.depth + 1)
+            self.pd, QPType.RC, self.cq, self.cq, self.depth + 1, self.depth + 1,
+            tenant=self.tenant)
         index = len(self.connections)
         conn = Connection(qp=qp, peer_name="", index=index)
         self.connections.append(conn)

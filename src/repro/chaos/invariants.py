@@ -28,7 +28,10 @@ adversity, and yields human-readable violation strings (nothing = pass):
 - ``fleet-placement`` — after a fleet drain every container has exactly
   one live placement, agreeing with the state store: nothing lost,
   nothing split-brained, nothing left frozen (skipped outside fleet
-  runs).
+  runs),
+- ``kv-linearizable`` — the KV store's operation history is real-time
+  linearizable against the server's apply log, and CAS lock grants were
+  mutually exclusive (skipped when no KV endpoints ran).
 
 The context scrapes the whole stack into a
 :class:`~repro.obs.metrics.MetricsRegistry` first, so checkers read the
@@ -341,6 +344,26 @@ def _check_fleet_placement(ctx):
             yield (f"container {name!r}: live on "
                    f"{', '.join(h for h, _ in holders)} but unknown to "
                    f"the state store")
+
+
+@DEFAULT_REGISTRY.register("kv-linearizable")
+def _check_kv_linearizable(ctx):
+    """Real-time linearizability of the KV history (atomic-register
+    semantics per key, versions as the witness) plus CAS mutual
+    exclusion.  Skipped when the run had no KV endpoints."""
+    clients = [ep for ep in ctx.endpoints if hasattr(ep, "kv_history")]
+    servers = [ep for ep in ctx.endpoints if hasattr(ep, "kv_applies")]
+    if not clients and not servers:
+        return
+    if not servers:
+        yield "KV clients ran without a KV server in the invariant context"
+        return
+    from repro.apps.kvstore import check_kv_history
+
+    for server in servers:
+        own = [c for c in clients if c.kv is server]
+        for violation in check_kv_history(own, server):
+            yield violation
 
 
 def run_digest(ctx: InvariantContext, report: InvariantReport) -> str:

@@ -1,9 +1,9 @@
 """The migration torture harness.
 
 Fuzzes (workload, fault plan, migration trigger time) tuples over the
-perftest and Hadoop reference scenarios, runs every invariant checker
-after each one, and shrinks a failing case to the smallest fault set that
-still fails — printed as a ready-to-paste pytest reproducer.
+perftest, Hadoop and KV-store reference scenarios, runs every invariant
+checker after each one, and shrinks a failing case to the smallest fault
+set that still fails — printed as a ready-to-paste pytest reproducer.
 
 Everything is derived from ``(seed, index)`` through dedicated
 ``random.Random`` instances, so a failing run number reproduces exactly
@@ -38,6 +38,8 @@ QUIESCE_POLL_S = 200e-6
 
 #: how often a torture sweep visits the Hadoop scenario instead of perftest
 HADOOP_EVERY = 6
+#: which slot of each HADOOP_EVERY-long stripe the KV scenario takes
+KV_SLOT = HADOOP_EVERY - 2
 
 
 @dataclass
@@ -95,6 +97,21 @@ def sample_case(seed: int, index: int, scenarios: str = "all",
     rng = _case_rng(seed, index)
     hadoop = (scenarios in ("all", "hadoop")
               and (scenarios == "hadoop" or index % HADOOP_EVERY == HADOOP_EVERY - 1))
+    kv = (scenarios in ("all", "kv")
+          and (scenarios == "kv" or index % HADOOP_EVERY == KV_SLOT))
+    if kv:
+        workload = {
+            "n_clients": rng.choice([1, 2]),
+            "depth": rng.choice([2, 4]),
+            "keyspace": rng.choice([16, 32]),
+            "value_len": rng.choice([16, 32, 64]),
+            "noise": rng.random() < 0.5,
+        }
+        trigger_s = rng.uniform(0.5e-3, 3e-3)
+        faults = _sample_faults(rng, nodes=["src", "dst", "partner0",
+                                            "partner1"], window_hi=0.15)
+        faults += _resilience_faults(rng, rpc_loss, kill_dest_at)
+        return TortureCase(seed, index, "kv", workload, faults, trigger_s)
     if hadoop:
         workload = {"task": rng.choice(["dfsio", "estimatepi"])}
         trigger_s = rng.uniform(0.02, 0.2)
@@ -271,6 +288,8 @@ def quiesce(tb, endpoints, timeout_s: float = QUIESCE_TIMEOUT_S):
 def run_case(case: TortureCase) -> TortureOutcome:
     if case.scenario == "hadoop":
         ctx = _run_hadoop_case(case)
+    elif case.scenario == "kv":
+        ctx = _run_kv_case(case)
     else:
         ctx = _run_perftest_case(case)
     report = DEFAULT_REGISTRY.run(ctx)
@@ -343,6 +362,74 @@ def _run_perftest_case(case: TortureCase) -> InvariantContext:
     return InvariantContext(tb, world=world, endpoints=[sender, receiver],
                             pairs=[(sender, receiver)], reports=reports,
                             plan=plan)
+
+
+def _run_kv_case(case: TortureCase) -> InvariantContext:
+    """KV-store torture: shaped tenants, victim client migrated mid-ops.
+
+    Same drill as the perftest case, but the workload is the KV store —
+    SEND PUTs, one-sided READ GETs and CAS locks — with per-tenant QoS
+    installed so the fault campaign also runs through the shaping path,
+    and the ``kv-linearizable`` checker judging the surviving history.
+    """
+    from repro.apps.kvstore import KvClient, KvServer, connect_kv
+    from repro.rnic import TenantSpec, install_qos
+
+    w = case.workload
+    tb = cluster.build(num_partners=2)
+    world = MigrRdmaWorld(tb)
+    install_qos(tb.servers, [TenantSpec("victim", max_qps=w["n_clients"] + 2),
+                             TenantSpec("noisy", rate_bps=40e9)])
+    keys = [f"key{i:04d}" for i in range(w["keyspace"])]
+    kv = KvServer(tb.partners[0], name="kv", world=world, value_cap=64)
+    clients = [KvClient(tb.source, kv, name=f"kv-c{i}", world=world,
+                        keyspace=keys, value_len=w["value_len"],
+                        depth=w["depth"], seed=case.plan_seed,
+                        tenant="victim")
+               for i in range(w["n_clients"])]
+    noise = []
+    if w["noise"]:
+        nkwargs = dict(world=world, mode="write", msg_size=262144, depth=4,
+                       verify_content=True)
+        noise = [PerftestEndpoint(tb.source, name="noise-tx", tenant="noisy",
+                                  **nkwargs),
+                 PerftestEndpoint(tb.partners[1], name="noise-rx", **nkwargs)]
+
+    def setup():
+        yield from kv.setup(client_budget=w["n_clients"])
+        kv.preload(keys, w["value_len"])
+        for client in clients:
+            yield from client.setup()
+            yield from connect_kv(kv, client)
+        if noise:
+            yield from noise[0].setup(qp_budget=1)
+            yield from noise[1].setup(qp_budget=1)
+            yield from connect_endpoints(noise[0], noise[1], qp_count=1)
+
+    tb.run(setup())
+    plan = build_plan(case, offset_s=tb.sim.now)
+    plan.install(tb)
+    kv.start()
+    for client in clients:
+        client.start()
+    if noise:
+        noise[0].start_as_sender()
+    endpoints = [*clients, kv, *noise]
+    reports = []
+
+    def flow():
+        yield tb.sim.timeout(case.trigger_s)
+        migration = LiveMigration(world, clients[0].container,
+                                  tb.destination, presetup=True)
+        plan.arm(migration)
+        reports.append((yield from migration.run()))
+        yield tb.sim.timeout(3e-3)
+        yield from quiesce(tb, endpoints)
+
+    tb.run(flow(), limit=600.0)
+    return InvariantContext(tb, world=world, endpoints=endpoints,
+                            pairs=[tuple(noise)] if noise else [],
+                            reports=reports, plan=plan)
 
 
 def _run_hadoop_case(case: TortureCase) -> InvariantContext:

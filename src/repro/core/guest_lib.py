@@ -284,11 +284,13 @@ class MigrRdmaGuestLib(VerbsAPI):
 
     def create_qp(self, pd: VirtPD, qp_type: QPType, send_cq: VirtCQ, recv_cq: VirtCQ,
                   max_send_wr: int, max_recv_wr: int, srq: Optional[VirtSRQ] = None,
-                  max_rd_atomic: int = 16, max_inline_data: int = 220):
+                  max_rd_atomic: int = 16, max_inline_data: int = 220,
+                  tenant: Optional[str] = None):
         _qp, rid, vqpn = yield from self.layer.create_qp(
             self.state, pd.rid, qp_type, send_cq.rid, recv_cq.rid,
             max_send_wr, max_recv_wr, srq_rid=srq.rid if srq else None,
-            max_rd_atomic=max_rd_atomic, max_inline_data=max_inline_data)
+            max_rd_atomic=max_rd_atomic, max_inline_data=max_inline_data,
+            tenant=tenant)
         # The library mmaps the queue rings into the process — these are the
         # "RDMA-related memory structures" restored at original addresses.
         ring_bytes = (max_send_wr + max_recv_wr) * 64

@@ -151,7 +151,8 @@ class HostLib:
             plan.resources[args["send_cq_rid"]], plan.resources[args["recv_cq_rid"]],
             args["max_send_wr"], args["max_recv_wr"], srq=srq,
             max_rd_atomic=args.get("max_rd_atomic", 16),
-            max_inline_data=args.get("max_inline_data", 220))
+            max_inline_data=args.get("max_inline_data", 220),
+            tenant=args.get("tenant"))
         plan.resources[record.rid] = qp
         # The new physical QPN maps to the original virtual QPN (§3.3).
         self.layer.qpn_table.set(qp.qpn, args["vqpn"])

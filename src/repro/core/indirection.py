@@ -203,13 +203,15 @@ class IndirectionLayer:
     def create_qp(self, state: ProcessRdmaState, pd_rid: int, qp_type: QPType,
                   send_cq_rid: int, recv_cq_rid: int, max_send_wr: int,
                   max_recv_wr: int, srq_rid: Optional[int] = None,
-                  max_rd_atomic: int = 16, max_inline_data: int = 220):
+                  max_rd_atomic: int = 16, max_inline_data: int = 220,
+                  tenant: Optional[str] = None):
         srq = state.resources[srq_rid] if srq_rid is not None else None
         qp = yield from self.rnic.create_qp(
             state.resources[pd_rid], qp_type,
             state.resources[send_cq_rid], state.resources[recv_cq_rid],
             max_send_wr, max_recv_wr, srq=srq,
-            max_rd_atomic=max_rd_atomic, max_inline_data=max_inline_data)
+            max_rd_atomic=max_rd_atomic, max_inline_data=max_inline_data,
+            tenant=tenant)
         rid = new_rid()
         # "MigrRDMA just sets the virtual QPN the same as the physical
         # value" at creation time (§3.3).
@@ -226,6 +228,7 @@ class IndirectionLayer:
                   "max_recv_wr": max_recv_wr, "vqpn": vqpn,
                   "max_rd_atomic": max_rd_atomic,
                   "max_inline_data": max_inline_data,
+                  "tenant": tenant,
                   "conn": QpConnectionMeta(), "state": "RESET"},
             deps=deps))
         state.resources[rid] = qp

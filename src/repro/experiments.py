@@ -10,7 +10,8 @@ Usage::
     python -m repro.experiments fig6 [--task dfsio] [--fast] [--jobs 3]
     python -m repro.experiments migros [--qps 16,64,256] [--jobs 4]
     python -m repro.experiments trace [--qps 8] [--out trace.json]
-    python -m repro.experiments torture [--seed 7] [--runs 25] [--jobs 4]
+    python -m repro.experiments kv [--seed 7] [--noise off,40,unshaped] [--jobs 3]
+    python -m repro.experiments torture [--seed 7] [--runs 25] [--app kv] [--jobs 4]
     python -m repro.experiments recovery [--kill-dest-at precopy-dumped] [--jobs 2]
     python -m repro.experiments fleet [--hosts 8 --racks 2] [--policy drain
         --target rack0] [--concurrency 1,2,4] [--kill-host r0h0] [--jobs 3]
@@ -247,6 +248,76 @@ def _csv_ints(text: str) -> List[int]:
     return [int(part) for part in text.split(",") if part]
 
 
+def _noise_levels(text: str) -> List[object]:
+    """Parse ``--noise``: ``off`` | ``unshaped`` | a Gbps rate limit."""
+    levels: List[object] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part in ("off", "unshaped"):
+            levels.append(part)
+        else:
+            levels.append(float(part))
+    return levels
+
+
+def _kv_point(level, args) -> dict:
+    kwargs = dict(seed=args.seed, n_clients=args.clients, depth=args.depth,
+                  qos=not args.no_qos, migrate=not args.no_migrate)
+    if level == "off":
+        kwargs["noise"] = False
+    elif level == "unshaped":
+        kwargs.update(noise=True, noise_limit_gbps=None)
+    else:
+        kwargs.update(noise=True, noise_limit_gbps=level)
+    return kwargs
+
+
+def cmd_kv(args) -> int:
+    specs = [TaskSpec(f"{_RUNNERS}.kvstore_run", _kv_point(level, args),
+                      label=f"kv:noise-{level}")
+             for level in args.noise]
+    results, failed = _sweep(specs, args.jobs)
+    print(f"{'noise':>10}{'gets':>8}{'p50_us':>8}{'p99_us':>8}"
+          f"{'blackout_ms':>13}{'noise_gbps':>12}{'bound':>7}{'invariants':>12}")
+    violations = 0
+    for level, result in zip(args.noise, results):
+        if not result.ok:
+            continue
+        row = result.value
+        bad = (not row["invariants_ok"]) or row["contract_violations"] \
+            or row.get("noise_within_bound") is False
+        if bad:
+            violations += 1
+            for violation in (row["violations"] + row["contract_violations"]):
+                print(f"  VIOLATION noise={level}: {violation}",
+                      file=sys.stderr)
+            if row.get("noise_within_bound") is False:
+                print(f"  VIOLATION noise={level}: tenant exceeded its "
+                      f"token bucket ({row['noise_tx_bytes']} > "
+                      f"{row['noise_allowed_bytes']:.0f} bytes)",
+                      file=sys.stderr)
+        blackout = (f"{row['blackout_ms']:>13.2f}"
+                    if row["blackout_ms"] is not None else f"{'n/a':>13}")
+        gbps = (f"{row['noise_gbps']:>12.1f}"
+                if "noise_gbps" in row else f"{'n/a':>12}")
+        bound = {True: "ok", False: "OVER", None: "-"}[
+            row.get("noise_within_bound")]
+        print(f"{str(level):>10}{row['gets']:>8}"
+              f"{row['victim_get_p50_us']:>8.1f}"
+              f"{row['victim_get_p99_us']:>8.1f}"
+              f"{blackout}{gbps}{bound:>7}"
+              f"{'ok' if not bad else 'VIOLATED':>12}")
+        print(f"        digest {row['digest'][:16]}  "
+              f"events {row['events_processed']}")
+    if failed or violations:
+        return 1
+    print(f"kv noisy-neighbour sweep clean at every noise level "
+          f"({','.join(str(level) for level in args.noise)})")
+    return 0
+
+
 def cmd_torture(args) -> int:
     from repro.chaos.torture import torture
 
@@ -308,7 +379,8 @@ def cmd_fleet(args) -> int:
                            oversubscription=args.oversub,
                            kill_host=args.kill_host, kill_at=args.kill_at,
                            degrade_rack=args.degrade_rack,
-                           degrade_factor=args.degrade_factor),
+                           degrade_factor=args.degrade_factor,
+                           kv_pairs=args.kv_pairs),
                       label=f"fleet:c{concurrency}")
              for concurrency in args.concurrency]
     results, failed = _sweep(specs, args.jobs)
@@ -394,11 +466,27 @@ def main(argv=None) -> int:
                     help="per-event kernel dispatch instants (large trace)")
     pt.add_argument("--out", default="trace.json")
 
+    pk = sub.add_parser("kv", help="KV store under a noisy neighbour "
+                                   "(victim GET latency + QoS isolation)")
+    pk.add_argument("--seed", type=int, default=7)
+    pk.add_argument("--clients", type=int, default=2)
+    pk.add_argument("--depth", type=int, default=4)
+    pk.add_argument("--noise", type=_noise_levels, default=["off", 40.0],
+                    metavar="L[,L...]",
+                    help="noise levels to sweep: 'off', 'unshaped', or a "
+                         "token-bucket rate limit in Gbps")
+    pk.add_argument("--no-qos", action="store_true",
+                    help="leave the per-tenant QoS model uninstalled")
+    pk.add_argument("--no-migrate", action="store_true",
+                    help="skip migrating the victim client mid-traffic")
+    add_jobs(pk)
+
     px = sub.add_parser("torture",
                         help="fault-injection sweep with invariant checks")
     px.add_argument("--seed", type=int, default=7)
     px.add_argument("--runs", type=int, default=25)
-    px.add_argument("--scenario", choices=["all", "perftest", "hadoop"],
+    px.add_argument("--scenario", "--app", dest="scenario",
+                    choices=["all", "perftest", "hadoop", "kv"],
                     default="all")
     px.add_argument("--no-shrink", action="store_true",
                     help="skip minimizing failing fault sets")
@@ -437,6 +525,9 @@ def main(argv=None) -> int:
     pf.add_argument("--degrade-rack", default=None, metavar="RACK",
                     help="slow RACK's ToR uplink during the drain")
     pf.add_argument("--degrade-factor", type=float, default=4.0)
+    pf.add_argument("--kv-pairs", type=int, default=0, metavar="N",
+                    help="also place N KV server/client container pairs "
+                         "(tenant 'kv') that migrate with the drain")
     add_jobs(pf)
 
     pr = sub.add_parser("recovery",
@@ -453,7 +544,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.command == "list":
         for name in ("fig3", "fig4", "fig5", "table4", "fig6", "migros",
-                     "trace", "torture", "recovery", "fleet"):
+                     "trace", "kv", "torture", "recovery", "fleet"):
             print(name)
         return 0
     handler = globals()[f"cmd_{args.command}"]

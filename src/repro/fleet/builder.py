@@ -52,6 +52,12 @@ class FleetSpec:
     heap_bytes: int = 2 * MiB
     heap_dirty_bps: float = 8 * MiB
     verify_content: bool = True
+    #: KV workload riding the fleet: server+client container pairs
+    #: (0 = perftest-only, the historical fleet — digests unchanged)
+    kv_pairs: int = 0
+    kv_keyspace: int = 16
+    kv_depth: int = 2
+    kv_value_len: int = 32
 
     def __post_init__(self):
         if self.racks < 1:
@@ -93,6 +99,13 @@ class Fleet(ClusterBed):
                                     memory_bytes=spec.host_memory_bytes)
         self.endpoints: List[PerftestEndpoint] = []
         self.pairs: List[Tuple[PerftestEndpoint, PerftestEndpoint]] = []
+        self.kv_servers: list = []
+        self.kv_clients: list = []
+        if spec.kv_pairs:
+            from repro.rnic import TenantSpec, install_qos
+
+            install_qos(self.servers,
+                        [TenantSpec("kv", max_qps=2 * spec.kv_pairs + 4)])
         self._build_workload()
 
     # ------------------------------------------------------------------
@@ -127,22 +140,72 @@ class Fleet(ClusterBed):
                 + endpoint.buffer_bytes_per_qp())
         for k in range(spec.containers // 2):
             self.pairs.append((self.endpoints[2 * k], self.endpoints[2 * k + 1]))
+        if spec.kv_pairs:
+            self._build_kv_workload()
+
+    def _build_kv_workload(self) -> None:
+        """KV server/client container pairs under tenant ``"kv"``: the
+        server exports its hash table a rack away from its client, so KV
+        GET READs cross the trunks like the perftest streams do — and
+        both containers are registered in the state store, so drains and
+        rebalances migrate live KV tables and their clients."""
+        from repro.apps.kvstore import KvClient, KvServer
+
+        spec = self.spec
+        hosts = list(self.state.hosts)
+        offset = spec.hosts_per_rack if spec.racks > 1 else 1
+        for j in range(spec.kv_pairs):
+            shost = hosts[(2 * j + 1) % len(hosts)]
+            chost = hosts[(2 * j + 1 + offset) % len(hosts)]
+            sname, cname = f"kv{j:03d}s", f"kv{j:03d}c"
+            server = self.server(shost)
+            kv = KvServer(server, name=sname, world=self.world,
+                          container=server.create_container(sname),
+                          n_buckets=64, value_cap=max(64, spec.kv_value_len),
+                          depth=8, tenant="kv")
+            cserver = self.server(chost)
+            client = KvClient(cserver, kv, name=cname, world=self.world,
+                              container=cserver.create_container(cname),
+                              keyspace=[f"kv{j}-{i:03d}"
+                                        for i in range(spec.kv_keyspace)],
+                              value_len=spec.kv_value_len, depth=spec.kv_depth,
+                              seed=self.config.seed, tenant="kv",
+                              pace_s=spec.pace_s)
+            self.kv_servers.append(kv)
+            self.kv_clients.append(client)
+            self.state.add_container(sname, shost, qps=1,
+                                     memory_bytes=kv.layout.table_bytes)
+            self.state.add_container(cname, chost, qps=1,
+                                     memory_bytes=client._buf_bytes())
+        self.endpoints.extend(self.kv_servers)
+        self.endpoints.extend(self.kv_clients)
 
     def setup(self):
         """Generator: verbs resources + QP connections for every pair."""
+        from repro.apps.kvstore import connect_kv
+
         for tx, rx in self.pairs:
             yield from tx.setup(qp_budget=1)
             yield from rx.setup(qp_budget=1)
             yield from connect_endpoints(tx, rx, qp_count=1)
         # An odd trailing container carries no RDMA traffic but still has
         # a process + heap, so it migrates like any other.
-        if len(self.endpoints) % 2:
-            yield from self.endpoints[-1].setup(qp_budget=1)
+        if len(self.pairs) * 2 < self.spec.containers:
+            yield from self.endpoints[len(self.pairs) * 2].setup(qp_budget=1)
+        for kv, client in zip(self.kv_servers, self.kv_clients):
+            yield from kv.setup(client_budget=1)
+            kv.preload(client.keyspace, self.spec.kv_value_len)
+            yield from client.setup()
+            yield from connect_kv(kv, client)
 
     def start_traffic(self) -> None:
         """WRITE mode: only senders run loops (one-sided, no receiver)."""
         for tx, _rx in self.pairs:
             tx.start_as_sender()
+        for kv in self.kv_servers:
+            kv.start()
+        for client in self.kv_clients:
+            client.start()
 
     def quiesce(self):
         """Generator: stop senders, drain in-flight completions."""

@@ -166,6 +166,20 @@ class MetricsRegistry:
         self.gauge(f"{prefix}.tx_msgs").set(nic.tx_msgs)
         self.gauge(f"{prefix}.rx_msgs").set(nic.rx_msgs)
         self.gauge(f"{prefix}.qps").set(len(nic.qps))
+        if nic.qos is not None:
+            # Tenant QoS is part of the digested surface when installed:
+            # metered bytes and throttle counts are results of the run.
+            # Runs without QoS (nic.qos is None) emit nothing here, so
+            # every pre-existing digest pin is untouched.
+            for tenant, state in nic.qos.snapshot().items():
+                qprefix = f"{prefix}.tenant.{tenant}"
+                self.gauge(f"{qprefix}.tx_bytes").set(state["tx_bytes"])
+                self.gauge(f"{qprefix}.msgs").set(state["reserved_msgs"])
+                self.gauge(f"{qprefix}.qps").set(state["qps"])
+                self.gauge(f"{qprefix}.throttle_events").set(
+                    state["throttle_events"])
+                self.gauge(f"{qprefix}.throttle_s").set(state["throttle_s"])
+                self.gauge(f"{qprefix}.qp_denials").set(state["qp_denials"])
 
     def scrape_network(self, network) -> None:
         self.gauge("fabric.messages_sent").set(network.messages_sent)

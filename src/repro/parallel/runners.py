@@ -398,7 +398,8 @@ def fleet_run(racks: int = 2, hosts_per_rack: int = 4, containers: int = 16,
               kill_down_s: float = 0.05,
               degrade_rack: Optional[str] = None,
               degrade_start_s: float = 0.0, degrade_end_s: float = 0.5,
-              degrade_factor: float = 4.0) -> Dict[str, object]:
+              degrade_factor: float = 4.0,
+              kv_pairs: int = 0) -> Dict[str, object]:
     """One fleet point: build a fleet, run a scheduling policy under
     admission control, check every invariant (including
     ``fleet-placement``), and return the digested outcome.
@@ -417,7 +418,8 @@ def fleet_run(racks: int = 2, hosts_per_rack: int = 4, containers: int = 16,
     wall_start = time.perf_counter()
     fleet = build_fleet(racks=racks, hosts_per_rack=hosts_per_rack,
                         containers=containers,
-                        oversubscription=oversubscription, seed=seed)
+                        oversubscription=oversubscription, seed=seed,
+                        kv_pairs=kv_pairs)
     fleet.run(fleet.setup())
     plan = FaultPlan(seed=seed, name=f"fleet-{seed}")
     if kill_host is not None:
@@ -475,6 +477,9 @@ def fleet_run(racks: int = 2, hosts_per_rack: int = 4, containers: int = 16,
         "link_peak_backlog": dict(report.link_peak_backlog),
         "outcomes": [o.line() for o in report.outcomes],
         "attempts_total": sum(o.attempts for o in report.outcomes),
+        "kv_pairs": kv_pairs,
+        "kv_gets": sum(c.stats.gets for c in fleet.kv_clients),
+        "kv_puts": sum(c.stats.puts for c in fleet.kv_clients),
         "chaos": None if chaos is None else chaos.stats.as_dict(),
         "invariants_checked": list(inv.checked),
         "invariants_ok": inv.ok,
@@ -485,6 +490,180 @@ def fleet_run(racks: int = 2, hosts_per_rack: int = 4, containers: int = 16,
         "events_processed": fleet.sim.events_processed,
         "wall_s": wall_s,
     }
+
+
+def kvstore_run(seed: int = 7, n_clients: int = 2, keyspace: int = 48,
+                value_len: int = 32, depth: int = 4, n_buckets: int = 128,
+                noise: bool = True, noise_limit_gbps: Optional[float] = 40.0,
+                noise_msg_size: int = 65536, noise_depth: int = 8,
+                qos: bool = True, migrate: bool = True,
+                trigger_s: float = 2e-3, settle_s: float = 3e-3,
+                readback_keys: int = 4) -> Dict[str, object]:
+    """One noisy-neighbour KV point (BENCH_kv / ``experiments kv``).
+
+    A KV server on partner0 serves ``n_clients`` clients of tenant
+    ``"victim"`` living on the source host; a perftest WRITE stream of
+    tenant ``"noisy"`` shares the victim's egress NIC and blasts at
+    partner1 for the whole run.  Mid-traffic the first victim client is
+    live-migrated to the destination host.  With ``qos`` on, the noisy
+    tenant is token-bucket shaped to ``noise_limit_gbps`` and the result
+    reports whether its metered bytes stayed inside the bucket's
+    admission bound; with it off (or ``noise_limit_gbps=None``) the run
+    must stay bit-identical to an unshaped one — :data:`NicQoS.reserve`
+    inserts zero events for unshaped tenants, and the determinism pin
+    (``tests/integration/test_kv_determinism.py``) holds us to it.
+
+    Every registered chaos invariant (including ``kv-linearizable``)
+    and the full :class:`~repro.apps.contract.WorkloadHarness` run at
+    the end; the returned dict carries victim GET latency percentiles,
+    blackout, the neighbour's shaped throughput, and the digest that
+    pins ``--jobs N`` equivalence.
+    """
+    from repro import cluster
+    from repro.apps.contract import WorkloadHarness, run_contract
+    from repro.apps.kvstore import KvClient, KvServer, connect_kv
+    from repro.apps.perftest import (PerftestEndpoint, connect_endpoints,
+                                     latency_percentiles)
+    from repro.chaos.invariants import DEFAULT_REGISTRY, InvariantContext, run_digest
+    from repro.chaos.torture import quiesce
+    from repro.core import LiveMigration, MigrRdmaWorld
+    from repro.rnic import TenantSpec, install_qos
+
+    wall_start = time.perf_counter()
+    tb = cluster.build(num_partners=2)
+    world = MigrRdmaWorld(tb)
+    if qos:
+        specs = [TenantSpec("victim", max_qps=n_clients + 2)]
+        if noise:
+            rate = None if noise_limit_gbps is None else noise_limit_gbps * 1e9
+            specs.append(TenantSpec("noisy", rate_bps=rate))
+        install_qos(tb.servers, specs)
+
+    keys = [f"key{i:04d}" for i in range(keyspace)]
+    kv = KvServer(tb.partners[0], name="kv", world=world,
+                  n_buckets=n_buckets, value_cap=max(64, value_len),
+                  depth=32)
+    clients = [KvClient(tb.source, kv, name=f"kv-c{i}", world=world,
+                        keyspace=keys, value_len=value_len, depth=depth,
+                        seed=seed, tenant="victim" if qos else None)
+               for i in range(n_clients)]
+    ntx = nrx = None
+    if noise:
+        nkwargs = dict(world=world, mode="write", msg_size=noise_msg_size,
+                       depth=noise_depth, verify_content=True)
+        ntx = PerftestEndpoint(tb.source, name="noise-tx",
+                               tenant="noisy" if qos else None, **nkwargs)
+        nrx = PerftestEndpoint(tb.partners[1], name="noise-rx", **nkwargs)
+
+    def setup():
+        yield from kv.setup(client_budget=n_clients)
+        kv.preload(keys, value_len)
+        for client in clients:
+            yield from client.setup()
+            yield from connect_kv(kv, client)
+        if noise:
+            yield from ntx.setup(qp_budget=1)
+            yield from nrx.setup(qp_budget=1)
+            yield from connect_endpoints(ntx, nrx, qp_count=1)
+
+    tb.run(setup())
+    t_traffic = tb.sim.now
+    kv.start()
+    for client in clients:
+        client.start()
+    if noise:
+        ntx.start_as_sender()
+    reports = []
+    endpoints = [*clients, kv] + ([ntx, nrx] if noise else [])
+
+    def flow():
+        yield tb.sim.timeout(trigger_s)
+        if migrate:
+            migration = LiveMigration(world, clients[0].container,
+                                      tb.destination, presetup=True)
+            reports.append((yield from migration.run()))
+        yield tb.sim.timeout(settle_s)
+        yield from quiesce(tb, endpoints)
+
+    tb.run(flow(), limit=1200.0)
+    t_stop = tb.sim.now
+
+    # Post-quiesce freshness sweep: the table is frozen, so a one-sided
+    # READ from the (migrated) victim must see exactly the last applied
+    # version of every probed key.
+    freshness = []
+
+    def sweep():
+        for key in keys[:readback_keys]:
+            log = kv.kv_applies.get(key)
+            floor = log[-1][0] if log else 0
+            got = yield from clients[0].readback(key)
+            freshness.append((key, got[1] if got else -1, floor))
+
+    tb.run(sweep(), limit=30.0)
+
+    capabilities = {"accounting", "delivery", "history", "cas", "freshness"}
+    qos_probes = []
+    if qos and noise and noise_limit_gbps is not None:
+        capabilities.add("qos")
+        qos_probes = [(tb.source.rnic, "noisy", t_stop - t_traffic,
+                       noise_depth * noise_msg_size)]
+    harness = WorkloadHarness(
+        name="kvstore", capabilities=frozenset(capabilities),
+        endpoints=tuple(endpoints), pairs=(),
+        kv_clients=tuple(clients), kv_server=kv,
+        freshness_probes=tuple(freshness), qos_probes=tuple(qos_probes))
+    contract = run_contract(harness)
+
+    ctx = InvariantContext(tb, world=world, endpoints=endpoints,
+                           pairs=[(ntx, nrx)] if noise else [],
+                           reports=reports,
+                           workload_errors=[f"contract/{c}: {m}"
+                                            for c, m in contract])
+    inv = DEFAULT_REGISTRY.run(ctx)
+    wall_s = time.perf_counter() - wall_start
+
+    rtts = sorted(lat for client in clients for lat in client.get_latencies)
+    pcts = latency_percentiles(rtts) if rtts else {50: 0.0, 99: 0.0}
+    out = {
+        "seed": seed,
+        "n_clients": n_clients,
+        "noise": noise,
+        "noise_limit_gbps": noise_limit_gbps,
+        "qos": qos,
+        "migrate": migrate,
+        "puts": sum(c.stats.puts for c in clients),
+        "gets": sum(c.stats.gets for c in clients),
+        "get_misses": sum(c.stats.get_misses for c in clients),
+        "cas_attempts": sum(c.stats.cas_attempts for c in clients),
+        "cas_acquired": sum(c.stats.cas_acquired for c in clients),
+        "victim_get_p50_us": pcts[50] * 1e6,
+        "victim_get_p99_us": pcts[99] * 1e6,
+        "blackout_ms": reports[0].blackout_s * 1e3 if reports else None,
+        "contract_violations": [f"{check}: {message}"
+                                for check, message in contract],
+        "invariants_checked": list(inv.checked),
+        "invariants_ok": inv.ok,
+        "violations": [f"{name}: {message}" for name, message in inv.violations],
+        "digest": run_digest(ctx, inv),
+        "sim_now": tb.sim.now,
+        "events_processed": tb.sim.events_processed,
+        "wall_s": wall_s,
+    }
+    if noise:
+        elapsed = t_stop - t_traffic
+        done_bytes = ntx.stats.completed * noise_msg_size
+        out["noise_gbps"] = done_bytes * 8 / elapsed / 1e9 if elapsed else 0.0
+        if qos:
+            st = tb.source.rnic.qos.state("noisy")
+            allowed = tb.source.rnic.qos.allowed_bytes(
+                "noisy", elapsed, slack_bytes=noise_depth * noise_msg_size)
+            out["noise_tx_bytes"] = st.tx_bytes if st else 0
+            out["noise_allowed_bytes"] = allowed
+            out["noise_within_bound"] = (allowed is None or st is None
+                                         or st.tx_bytes <= allowed)
+            out["noise_throttle_events"] = st.throttle_events if st else 0
+    return out
 
 
 def simperf_round(num_qps: int, msg_size: int = 65536,

@@ -28,6 +28,7 @@ from repro.rnic.cq import CQ, CompletionChannel, WorkCompletion
 from repro.rnic.mr import PD, MR, DeviceMemory, MemoryWindow
 from repro.rnic.srq import SRQ
 from repro.rnic.qp import QP
+from repro.rnic.qos import NicQoS, TenantSpec, install_qos
 from repro.rnic.nic import RNIC
 
 __all__ = [
@@ -44,6 +45,7 @@ __all__ = [
     "CompletionChannel",
     "DeviceMemory",
     "MemoryWindow",
+    "NicQoS",
     "Opcode",
     "QPState",
     "QPStateError",
@@ -52,6 +54,8 @@ __all__ = [
     "ResourceError",
     "RnicError",
     "SendWR",
+    "TenantSpec",
     "WCStatus",
     "WorkCompletion",
+    "install_qos",
 ]

@@ -368,6 +368,11 @@ class RNIC:
         # pressure.  None keeps the unfaulted fast path.
         self.chaos = None
 
+        # Optional per-tenant QoS (repro.rnic.qos): QP quotas and
+        # token-bucket rate shaping.  None keeps the unmetered fast path
+        # bit-identical to a build without QoS.
+        self.qos = None
+
         # Ethtool-style byte counters (Figure 5's measurement source).
         self.tx_bytes = 0
         self.rx_bytes = 0
@@ -435,13 +440,19 @@ class RNIC:
 
     def create_qp(self, pd: PD, qp_type: QPType, send_cq: CQ, recv_cq: CQ,
                   max_send_wr: int, max_recv_wr: int, srq: Optional[SRQ] = None,
-                  max_rd_atomic: int = 16, max_inline_data: int = 220):
+                  max_rd_atomic: int = 16, max_inline_data: int = 220,
+                  tenant: Optional[str] = None):
         if len(self.qps) >= self.config.rnic.max_qps:
             raise ResourceError(f"{self.name}: QP limit {self.config.rnic.max_qps} reached")
+        if self.qos is not None:
+            # Tenant quota denial is synchronous, like the device-wide cap:
+            # no firmware time is spent on a doomed QP.
+            self.qos.acquire_qp(tenant)
         yield from self._control_cmd(self.config.rnic.create_qp_s)
         qpn = self._allocate_qpn()
         qp = QP(qpn, qp_type, pd, send_cq, recv_cq, max_send_wr, max_recv_wr, srq=srq,
-                max_rd_atomic=max_rd_atomic, max_inline_data=max_inline_data)
+                max_rd_atomic=max_rd_atomic, max_inline_data=max_inline_data,
+                tenant=tenant)
         self.qps[qpn] = qp
         self._kicks[qpn] = Queue(self.sim)
         self._engines[qpn] = self.sim.spawn(self._engine(qp), name=f"{self.name}:qp{qpn:#x}")
@@ -487,6 +498,8 @@ class RNIC:
 
     def destroy_qp(self, qp: QP):
         yield from self._control_cmd(self.config.rnic.destroy_qp_s)
+        if self.qos is not None and not qp.destroyed:
+            self.qos.release_qp(qp.tenant)
         qp.destroyed = True
         engine = self._engines.pop(qp.qpn, None)
         if engine is not None:
@@ -666,6 +679,23 @@ class RNIC:
             self._flush_sq(qp)
             return
 
+        if self.qos is not None and qp.tenant is not None:
+            # Token-bucket shaping: charge the wire footprint this WR will
+            # occupy on the line.  READs are charged their response size
+            # (the request is header-only but the data still flows),
+            # atomics their 8-byte operand.  Retransmissions are not
+            # re-charged — the tenant already paid for the first attempt.
+            if wr.opcode is Opcode.RDMA_READ:
+                shaped_bytes = self._wire_size(wr.total_length)
+            else:
+                shaped_bytes = self._wire_size(wr.wire_payload_bytes)
+            delay = self.qos.reserve(qp.tenant, shaped_bytes, self.sim.now)
+            if delay > 0.0:
+                yield self.sim.timeout(delay)
+                if qp.destroyed or qp.state is not QPState.RTS:
+                    self._complete_send(qp, wr, ssn, WCStatus.WR_FLUSH_ERR, force=True)
+                    return
+
         if wr.opcode is Opcode.RDMA_READ or wr.opcode.is_atomic:
             # IB initiator-depth limit: at most max_rd_atomic outstanding
             # READ/ATOMIC requests; the send queue stalls otherwise.
@@ -738,6 +768,8 @@ class RNIC:
         if (not net.flow_aggregation or net.fault_injector is not None
                 or net.loss_rate or self.chaos is not None):
             return False
+        if self.qos is not None and self.qos.is_shaped(qp.tenant):
+            return False  # shaped tenants stay on the per-packet path
         node = net.nodes.get(qp.remote_node)
         handler = node._handlers.get(RDMA_PROTOCOL) if node is not None else None
         if handler is None or getattr(handler, "__func__", None) is not RNIC._on_message:

@@ -38,12 +38,15 @@ class QP:
         srq: Optional[SRQ] = None,
         max_rd_atomic: int = 16,
         max_inline_data: int = 220,
+        tenant: Optional[str] = None,
     ):
         if max_send_wr <= 0 or (srq is None and max_recv_wr <= 0):
             raise ResourceError("queue depths must be positive")
         if max_rd_atomic <= 0:
             raise ResourceError("max_rd_atomic must be positive")
         self.qpn = qpn
+        #: QoS identity (repro.rnic.qos); None = infrastructure / unmetered.
+        self.tenant = tenant
         self.qp_type = qp_type
         self.pd = pd
         self.send_cq = send_cq

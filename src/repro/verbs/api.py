@@ -74,7 +74,8 @@ class VerbsAPI:
         raise NotImplementedError
 
     def create_qp(self, pd, qp_type: QPType, send_cq, recv_cq,
-                  max_send_wr: int, max_recv_wr: int, srq=None):
+                  max_send_wr: int, max_recv_wr: int, srq=None,
+                  tenant: Optional[str] = None):
         raise NotImplementedError
 
     def modify_qp_to_init(self, qp):
@@ -173,10 +174,12 @@ class DirectVerbs(VerbsAPI):
 
     def create_qp(self, pd: PD, qp_type: QPType, send_cq: CQ, recv_cq: CQ,
                   max_send_wr: int, max_recv_wr: int, srq: Optional[SRQ] = None,
-                  max_rd_atomic: int = 16, max_inline_data: int = 220):
+                  max_rd_atomic: int = 16, max_inline_data: int = 220,
+                  tenant: Optional[str] = None):
         qp = yield from self.rnic.create_qp(
             pd, qp_type, send_cq, recv_cq, max_send_wr, max_recv_wr, srq=srq,
-            max_rd_atomic=max_rd_atomic, max_inline_data=max_inline_data)
+            max_rd_atomic=max_rd_atomic, max_inline_data=max_inline_data,
+            tenant=tenant)
         return qp
 
     def modify_qp_to_init(self, qp: QP):

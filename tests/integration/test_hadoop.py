@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.apps.contract import hadoop_harness, run_contract
 from repro.apps.hadoop_scenarios import fast_test_config, run_scenario
 
 
@@ -16,9 +17,12 @@ def dfsio_outcomes():
 
 class TestDfsio:
     def test_all_scenarios_finish(self, dfsio_outcomes):
+        cfg = fast_test_config().hadoop
+        expected = cfg.dfsio_nfiles * cfg.dfsio_file_size_bytes
         for scenario, outcome in dfsio_outcomes.items():
-            assert outcome.result.finished, scenario
-            assert outcome.result.total_bytes == 2 * 128 * 1024 * 1024
+            violations = run_contract(
+                hadoop_harness(outcome, expected_bytes=expected))
+            assert not violations, (scenario, violations)
 
     def test_jct_ordering(self, dfsio_outcomes):
         """baseline < MigrRDMA << failover (the Figure 6 shape)."""

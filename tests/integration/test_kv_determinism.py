@@ -1,0 +1,51 @@
+"""KV determinism pins.
+
+Two contracts:
+
+1. ``experiments kv --seed 7 --jobs 1`` and ``--jobs 2`` agree on the
+   digest, the victim's p99 GET latency and ``events_processed`` — the
+   KV runner restarts the PID/QPN streams like every other sweep point,
+   so results depend only on arguments.
+2. QoS is free when it isn't shaping: a run with the QoS model
+   *uninstalled* and a run with it installed but every tenant unshaped
+   produce bit-identical simulated timestamps and event counts.  The
+   token bucket only ever inserts events for shaped tenants, so the
+   pre-existing seed timestamps of every non-KV experiment are safe.
+"""
+
+from repro.parallel import TaskSpec, run_tasks
+from repro.parallel.runners import kvstore_run
+
+FAST = dict(seed=7, n_clients=1, keyspace=16, depth=2,
+            noise_msg_size=262144, noise_depth=4, settle_s=1e-3,
+            readback_keys=2)
+
+
+def test_kv_sweep_identical_across_jobs():
+    specs = [TaskSpec("repro.parallel.runners.kvstore_run",
+                      dict(FAST, noise=noise),
+                      label=f"kvdet:{'noise' if noise else 'quiet'}")
+             for noise in (False, True)]
+    sequential = run_tasks(specs, jobs=1)
+    parallel = run_tasks(specs, jobs=2)
+    assert all(r.ok for r in sequential + parallel), \
+        [r.error for r in sequential + parallel if not r.ok]
+    for seq, par in zip(sequential, parallel):
+        assert seq.value["digest"] == par.value["digest"]
+        assert seq.value["victim_get_p99_us"] == par.value["victim_get_p99_us"]
+        assert seq.value["events_processed"] == par.value["events_processed"]
+        assert seq.value["sim_now"] == par.value["sim_now"]
+        assert seq.value["invariants_ok"]
+        assert not seq.value["contract_violations"]
+    # Digests are non-trivial.
+    assert sequential[0].value["digest"] != sequential[1].value["digest"]
+
+
+def test_unshaped_qos_is_event_free():
+    without = kvstore_run(qos=False, **FAST)
+    unshaped = kvstore_run(qos=True, noise_limit_gbps=None, **FAST)
+    assert without["sim_now"] == unshaped["sim_now"]
+    assert without["events_processed"] == unshaped["events_processed"]
+    assert without["victim_get_p99_us"] == unshaped["victim_get_p99_us"]
+    assert without["blackout_ms"] == unshaped["blackout_ms"]
+    assert without["invariants_ok"] and unshaped["invariants_ok"]

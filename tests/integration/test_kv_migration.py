@@ -1,0 +1,118 @@
+"""Integration: migrating the KV victim tenant at every phase boundary.
+
+Mirrors ``test_migration_abort.py``'s boundary sweep, but the workload is
+the KV store (SEND PUTs, one-sided READ GETs, CAS locks) under the
+per-tenant QoS model: an abort is driven through each of the twelve
+named phase boundaries, and every registered invariant — including the
+``kv-linearizable`` history checker — must come back clean whether the
+migration rolled back or committed.  Two RNR-storm overlays re-run the
+commit path while the server's (then the client's) NIC refuses RECVs
+mid-migration.
+"""
+
+import pytest
+
+from repro import cluster
+from repro.apps.kvstore import KvClient, KvServer, connect_kv
+from repro.chaos import FaultPlan
+from repro.chaos.invariants import DEFAULT_REGISTRY, InvariantContext
+from repro.chaos.torture import quiesce
+from repro.core import LiveMigration, MigrRdmaWorld
+from repro.core.orchestrator import PHASE_BOUNDARIES
+from repro.rnic import TenantSpec, install_qos
+
+ABORTABLE = frozenset(PHASE_BOUNDARIES[:4])
+
+KEYS = [f"key{i:04d}" for i in range(16)]
+
+
+def build_kv(n_clients=1, depth=2):
+    tb = cluster.build(num_partners=1)
+    world = MigrRdmaWorld(tb)
+    install_qos(tb.servers, [TenantSpec("victim", max_qps=n_clients + 2)])
+    kv = KvServer(tb.partners[0], name="kv", world=world, value_cap=64)
+    clients = [KvClient(tb.source, kv, name=f"kv-c{i}", world=world,
+                        keyspace=KEYS, value_len=32, depth=depth,
+                        seed=7, tenant="victim")
+               for i in range(n_clients)]
+
+    def setup():
+        yield from kv.setup(client_budget=n_clients)
+        kv.preload(KEYS, 32)
+        for client in clients:
+            yield from client.setup()
+            yield from connect_kv(kv, client)
+
+    tb.run(setup())
+    return tb, world, kv, clients
+
+
+def run_migration(tb, world, kv, clients, plan, trigger_s=1e-3,
+                  settle_s=2e-3):
+    plan.install(tb)
+    kv.start()
+    for client in clients:
+        client.start()
+    reports = []
+    endpoints = [*clients, kv]
+
+    def flow():
+        yield tb.sim.timeout(trigger_s)
+        migration = LiveMigration(world, clients[0].container,
+                                  tb.destination, presetup=True)
+        plan.arm(migration)
+        reports.append((yield from migration.run()))
+        yield tb.sim.timeout(settle_s)
+        yield from quiesce(tb, endpoints)
+
+    tb.run(flow(), limit=600.0)
+    ctx = InvariantContext(tb, world=world, endpoints=endpoints,
+                           reports=reports, plan=plan)
+    return reports[0], ctx
+
+
+class TestMigrateAtEveryBoundary:
+    @pytest.mark.parametrize("boundary", PHASE_BOUNDARIES)
+    def test_abort_at(self, boundary):
+        tb, world, kv, clients = build_kv()
+        plan = FaultPlan(name=f"kv-abort@{boundary}").abort_at(boundary)
+        report, ctx = run_migration(tb, world, kv, clients, plan)
+
+        assert boundary in plan.boundaries_seen
+        inv = DEFAULT_REGISTRY.run(ctx)
+        assert "kv-linearizable" in inv.checked
+        assert inv.ok, inv.render()
+        victim = clients[0]
+        if boundary in ABORTABLE:
+            assert report.aborted
+            assert victim.container.server is tb.source
+        else:
+            assert not report.aborted
+            assert victim.container.server is tb.destination
+        # The service made progress on both sides of the event.
+        assert victim.stats.gets + victim.stats.puts > 0
+        assert victim.stats.clean, victim.stats.status_errors[:3]
+        assert kv.stats.clean, kv.stats.status_errors[:3]
+        assert not tb.sim.failed_processes, tb.sim.failed_processes[:3]
+
+
+class TestMigrateUnderRnrStorm:
+    @pytest.mark.parametrize("storm_node", ["partner0", "src"])
+    def test_commit_under_storm(self, storm_node):
+        """Full migration while a NIC refuses RECVs (RNR NAKs) across the
+        migration window: RNR retries must resolve, the history must stay
+        linearizable, and the victim must land on the destination."""
+        tb, world, kv, clients = build_kv()
+        plan = FaultPlan(name=f"kv-rnr@{storm_node}")
+        # 3 ms is enough to cover the migration window; RNR retries fire
+        # every 100 µs, so event volume grows ~linearly with storm length.
+        plan.rnr_storm(storm_node, 0.5e-3, 3e-3)
+        report, ctx = run_migration(tb, world, kv, clients, plan,
+                                    settle_s=5e-3)
+
+        assert not report.aborted
+        inv = DEFAULT_REGISTRY.run(ctx)
+        assert inv.ok, inv.render()
+        assert clients[0].container.server is tb.destination
+        assert clients[0].stats.gets > 0
+        assert not tb.sim.failed_processes, tb.sim.failed_processes[:3]

@@ -3,6 +3,7 @@
 import pytest
 
 from repro import cluster
+from repro.apps.contract import perftest_harness, run_contract
 from repro.apps.perftest import PerftestEndpoint, connect_endpoints
 from repro.core import MigrRdmaWorld
 
@@ -38,11 +39,8 @@ class TestDirectPerftest:
         receiver = PerftestEndpoint(tb.partners[0], mode=mode, msg_size=8192, depth=16,
                                     verify_content=(mode == "send"))
         run_bw(tb, sender, receiver, iters=256, mode=mode)
-        assert sender.stats.completed == 256
-        assert sender.stats.clean, sender.stats
-        if mode == "send":
-            assert receiver.stats.recv_completed == 256
-            assert receiver.stats.clean, receiver.stats
+        violations = run_contract(perftest_harness(sender, receiver, iters=256))
+        assert not violations, violations
 
     def test_write_bw_reaches_line_rate(self):
         tb = cluster.build()
@@ -66,8 +64,8 @@ class TestMigrRdmaPerftest:
                                     msg_size=4096, depth=8,
                                     verify_content=(mode == "send"))
         run_bw(tb, sender, receiver, iters=128, mode=mode)
-        assert sender.stats.completed == 128
-        assert sender.stats.clean, sender.stats
+        violations = run_contract(perftest_harness(sender, receiver, iters=128))
+        assert not violations, violations
 
     def test_virtual_keys_are_dense(self):
         tb, world = build_world()
@@ -121,6 +119,6 @@ class TestMigrRdmaPerftest:
         receiver = PerftestEndpoint(tb.partners[0], mode="write",
                                     msg_size=2048, depth=4)
         run_bw(tb, sender, receiver, iters=32, mode="write")
-        assert sender.stats.completed == 32
-        assert sender.stats.clean, sender.stats
+        violations = run_contract(perftest_harness(sender, receiver, iters=32))
+        assert not violations, violations
         assert sender.connections[0].qp.passthrough

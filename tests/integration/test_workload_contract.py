@@ -1,0 +1,228 @@
+"""WorkloadContract conformance: one parametrized suite over every app.
+
+Each application — perftest, Hadoop, and the KV store — packages a
+finished run into a :class:`WorkloadHarness` claiming the capabilities
+its surface supports, and one parametrized test holds all of them to
+:func:`run_contract`.  A second block proves the checks have teeth:
+every checker must flag a deliberately-corrupted harness, and claiming
+a capability without evidence is itself a violation.
+"""
+
+import pytest
+
+from repro import cluster
+from repro.apps import (
+    WorkloadHarness,
+    hadoop_harness,
+    perftest_harness,
+    run_contract,
+)
+from repro.apps.hadoop_scenarios import fast_test_config, run_scenario
+from repro.apps.kvstore import KvClient, KvServer, connect_kv
+from repro.apps.perftest import PerftestEndpoint, connect_endpoints
+from repro.chaos.torture import quiesce
+from repro.core import LiveMigration, MigrRdmaWorld
+from repro.rnic import NicQoS, TenantSpec, install_qos
+
+ITERS = 128
+
+
+@pytest.fixture(scope="module")
+def perftest_contract():
+    tb = cluster.build()
+    world = MigrRdmaWorld(tb)
+    sender = PerftestEndpoint(tb.source, world=world, mode="send",
+                              msg_size=4096, depth=8, verify_content=True)
+    receiver = PerftestEndpoint(tb.partners[0], world=world, mode="send",
+                                msg_size=4096, depth=8, verify_content=True)
+
+    def flow():
+        yield from sender.setup(qp_budget=1)
+        yield from receiver.setup(qp_budget=1)
+        yield from connect_endpoints(sender, receiver, qp_count=1)
+        receiver.start_as_receiver()
+        sender.start_as_sender(iters=ITERS)
+        while sender.running:
+            yield tb.sim.timeout(100e-6)
+
+    tb.run(flow(), limit=30.0)
+    return perftest_harness(sender, receiver, iters=ITERS)
+
+
+@pytest.fixture(scope="module")
+def hadoop_contract():
+    config = fast_test_config()
+    outcome = run_scenario("dfsio", "migrrdma", config=config,
+                           event_after_s=0.1)
+    cfg = config.hadoop
+    return hadoop_harness(
+        outcome, expected_bytes=cfg.dfsio_nfiles * cfg.dfsio_file_size_bytes)
+
+
+@pytest.fixture(scope="module")
+def kvstore_contract():
+    """A migrated KV run: the victim client moves hosts mid-traffic, then
+    a readback sweep proves the table it READs is still the live one."""
+    tb = cluster.build(num_partners=1)
+    world = MigrRdmaWorld(tb)
+    install_qos(tb.servers, [TenantSpec("victim", max_qps=3)])
+    kv = KvServer(tb.partners[0], name="kv", world=world, value_cap=64)
+    keys = [f"key{i:04d}" for i in range(16)]
+    client = KvClient(tb.source, kv, name="kv-c0", world=world,
+                      keyspace=keys, value_len=32, depth=2, seed=7,
+                      tenant="victim")
+
+    def setup():
+        yield from kv.setup(client_budget=1)
+        kv.preload(keys, 32)
+        yield from client.setup()
+        yield from connect_kv(kv, client)
+
+    tb.run(setup())
+    kv.start()
+    client.start()
+    freshness = []
+
+    def flow():
+        yield tb.sim.timeout(1e-3)
+        migration = LiveMigration(world, client.container, tb.destination,
+                                  presetup=True)
+        yield from migration.run()
+        # Versions applied by migration end are the freshness floor.
+        floors = {key: (kv.kv_applies.get(key) or [(0, 0.0)])[-1][0]
+                  for key in keys[:4]}
+        yield tb.sim.timeout(1e-3)
+        yield from quiesce(tb, [client, kv])
+        for key in keys[:4]:
+            got = yield from client.readback(key)
+            freshness.append((key, got[1] if got else -1, floors[key]))
+
+    tb.run(flow(), limit=60.0)
+    assert client.stats.gets + client.stats.puts > 0
+    return WorkloadHarness(
+        name="kvstore",
+        capabilities=frozenset({"accounting", "history", "cas", "freshness"}),
+        endpoints=(client, kv), kv_clients=(client,), kv_server=kv,
+        freshness_probes=tuple(freshness))
+
+
+class TestConformance:
+    @pytest.mark.parametrize("app", ["perftest", "hadoop", "kvstore"])
+    def test_app_conforms(self, app, request):
+        harness = request.getfixturevalue(f"{app}_contract")
+        assert harness.capabilities, "harness must claim something"
+        violations = run_contract(harness)
+        assert not violations, violations
+
+    def test_perftest_claims_delivery(self, perftest_contract):
+        assert {"completion", "accounting",
+                "delivery"} <= perftest_contract.capabilities
+
+    def test_kvstore_claims_history(self, kvstore_contract):
+        assert {"history", "cas", "freshness"} <= kvstore_contract.capabilities
+
+
+# ---------------------------------------------------------------- teeth
+
+
+class _Stats:
+    def __init__(self, clean=True, completed=0, recv_completed=0):
+        self.clean = clean
+        self.completed = completed
+        self.recv_completed = recv_completed
+        self.order_errors = [] if clean else ["order broke"]
+        self.content_errors = []
+        self.status_errors = []
+
+
+class _Conn:
+    def __init__(self, index=0, outstanding=0, posted=10, completed=None):
+        self.index = index
+        self.outstanding = outstanding
+        self.next_seq = posted
+        self.completed = posted if completed is None else completed
+        self.expect_send_seq = self.completed
+
+
+class _Endpoint:
+    def __init__(self, name="ep", stats=None, connections=()):
+        self.name = name
+        self.stats = stats or _Stats()
+        self.connections = list(connections)
+
+
+def _checks(violations):
+    return {check for check, _ in violations}
+
+
+class TestChecksHaveTeeth:
+    def test_unknown_capability_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadHarness(name="x", capabilities=frozenset({"vibes"}))
+
+    @pytest.mark.parametrize("capability", ["completion", "cas",
+                                            "freshness", "qos", "history"])
+    def test_claim_without_evidence_is_violation(self, capability):
+        harness = WorkloadHarness(name="hollow",
+                                  capabilities=frozenset({capability}))
+        assert _checks(run_contract(harness)) == {capability}
+
+    def test_outstanding_wr_flagged(self):
+        ep = _Endpoint(connections=[_Conn(outstanding=2)])
+        harness = WorkloadHarness(name="x",
+                                  capabilities=frozenset({"accounting"}),
+                                  endpoints=(ep,))
+        assert "accounting" in _checks(run_contract(harness))
+
+    def test_completion_gap_flagged(self):
+        ep = _Endpoint(stats=_Stats(completed=100, recv_completed=99))
+        harness = WorkloadHarness(
+            name="x", capabilities=frozenset({"completion"}),
+            completion_probes=(("iters", ep.stats.completed, 128),))
+        violations = run_contract(harness)
+        assert _checks(violations) == {"completion"}
+        assert "100 of 128" in violations[0][1]
+
+    def test_delivery_mismatch_flagged(self):
+        sender = _Endpoint("tx", stats=_Stats(completed=10))
+        receiver = _Endpoint("rx", stats=_Stats(recv_completed=9))
+        harness = WorkloadHarness(name="x",
+                                  capabilities=frozenset({"delivery"}),
+                                  pairs=((sender, receiver),))
+        assert "delivery" in _checks(run_contract(harness))
+
+    def test_stale_freshness_flagged(self):
+        harness = WorkloadHarness(name="x",
+                                  capabilities=frozenset({"freshness"}),
+                                  freshness_probes=(("k", 3, 5),))
+        violations = run_contract(harness)
+        assert "freshness" in _checks(violations)
+        assert "stale" in violations[0][1]
+
+    def test_qos_overrun_flagged(self):
+        class _Nic:
+            name = "nic0"
+            qos = NicQoS([TenantSpec("t", rate_bps=1e9)])
+
+        nic = _Nic()
+        nic.qos.state("t").tx_bytes = 10 ** 9  # way past burst + rate·t
+        harness = WorkloadHarness(name="x",
+                                  capabilities=frozenset({"qos"}),
+                                  qos_probes=((nic, "t", 1e-3, 0),))
+        assert "qos" in _checks(run_contract(harness))
+
+    def test_history_stale_read_flagged(self):
+        from repro.apps.kvstore import KvOpRecord
+
+        class Server:
+            kv_applies = {"k": [(1, 0.1), (2, 0.2)]}
+
+        class Client:
+            name = "c"
+            kv_history = [KvOpRecord("get", "k", 0.5, 0.6, 1, True)]
+            kv_cas = []
+
+        harness = WorkloadHarness(name="x",
+                                  capabilities=frozenset({"history"}),
+                                  kv_clients=(Client(),), kv_server=Server())
+        assert "history" in _checks(run_contract(harness))
