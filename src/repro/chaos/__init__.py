@@ -29,8 +29,10 @@ from repro.chaos.plan import (
     FaultRule,
     FaultStats,
     HostKill,
+    Partition,
     QpErrorEvent,
     RnrStorm,
+    SchedulerCrash,
     UplinkDegrade,
 )
 from repro.chaos.torture import TortureCase, run_case, sample_case
@@ -43,6 +45,6 @@ from repro.chaos import torture  # noqa: E402  isort:skip
 __all__ = [
     "CqPressure", "DEFAULT_REGISTRY", "FaultPlan", "FaultRule", "FaultStats",
     "HostKill", "InvariantContext", "InvariantReport", "InvariantRegistry",
-    "QpErrorEvent", "RnrStorm", "TortureCase", "UplinkDegrade", "run_case",
-    "run_torture", "sample_case",
+    "Partition", "QpErrorEvent", "RnrStorm", "SchedulerCrash", "TortureCase",
+    "UplinkDegrade", "run_case", "run_torture", "sample_case",
 ]

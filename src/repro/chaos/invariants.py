@@ -29,6 +29,11 @@ adversity, and yields human-readable violation strings (nothing = pass):
   one live placement, agreeing with the state store: nothing lost,
   nothing split-brained, nothing left frozen (skipped outside fleet
   runs),
+- ``lease-fencing`` — every container's lease chain from the FleetState
+  store shows strictly increasing fencing epochs, non-overlapping
+  holder windows, holder/placement agreement, and no container serving
+  from a fenced host — proving no split-brain was reachable even across
+  partitions (skipped outside fleet runs),
 - ``kv-linearizable`` — the KV store's operation history is real-time
   linearizable against the server's apply log, and CAS lock grants were
   mutually exclusive (skipped when no KV endpoints ran).
@@ -300,9 +305,13 @@ def _check_fabric_accounting(ctx):
     network = ctx.tb.network
     if ctx.plan is None or network.loss_rate:
         return
-    if network.messages_dropped != ctx.plan.stats.fabric_dropped:
+    accounted = (ctx.plan.stats.fabric_dropped
+                 + ctx.plan.stats.partition_dropped)
+    if network.messages_dropped != accounted:
         yield (f"network dropped {network.messages_dropped} messages but the "
-               f"fault plan accounts for {ctx.plan.stats.fabric_dropped}")
+               f"fault plan accounts for {accounted} "
+               f"({ctx.plan.stats.fabric_dropped} rule-dropped + "
+               f"{ctx.plan.stats.partition_dropped} partition-severed)")
 
 
 @DEFAULT_REGISTRY.register("fleet-placement")
@@ -344,6 +353,60 @@ def _check_fleet_placement(ctx):
             yield (f"container {name!r}: live on "
                    f"{', '.join(h for h, _ in holders)} but unknown to "
                    f"the state store")
+
+
+@DEFAULT_REGISTRY.register("lease-fencing")
+def _check_lease_fencing(ctx):
+    """No split-brain was *reachable*: replay every container's lease
+    chain from the FleetState store and prove the fencing discipline held
+    (DESIGN.md §15).  Epochs must be strictly increasing with exactly one
+    bump per handover, lease windows must never overlap (two valid
+    holders at one instant is the split-brain), the current holder must
+    agree with the placement map, and no container may be live on a host
+    the store has fenced for it.  Skipped outside fleet runs.
+    """
+    import math as _math
+
+    fleet = getattr(ctx, "fleet", None)
+    if fleet is None:
+        return
+    state = fleet.state
+    now = fleet.sim.now
+    live = {}
+    for server in fleet.servers:
+        for name in server.containers:
+            live.setdefault(name, []).append(server.name)
+    for name in state.containers:
+        chain = state.leases.leases(name)
+        if not chain:
+            yield f"container {name!r}: no lease chain in the store"
+            continue
+        for prev, lease in zip(chain, chain[1:]):
+            if lease.epoch <= prev.epoch:
+                yield (f"container {name!r}: epoch {lease.epoch} does not "
+                       f"exceed predecessor epoch {prev.epoch} "
+                       f"(fencing token reused)")
+            prev_end = min(prev.closed_s, prev.expires_s)
+            if prev_end == _math.inf:
+                yield (f"container {name!r}: epoch {prev.epoch} "
+                       f"({prev.holder}) never closed yet epoch "
+                       f"{lease.epoch} ({lease.holder}) was granted — "
+                       f"two open leases")
+            elif lease.granted_s < prev_end - 1e-12:
+                yield (f"container {name!r}: epoch {lease.epoch} "
+                       f"({lease.holder}) granted at t={lease.granted_s:.9f} "
+                       f"overlaps epoch {prev.epoch} ({prev.holder}) open "
+                       f"until t={prev_end:.9f} — split-brain window")
+        holder = state.leases.holder(name)
+        placed = state.host_of(name)
+        if holder != placed:
+            yield (f"container {name!r}: lease held by {holder!r} but the "
+                   f"state store places it on {placed!r}")
+        for host in live.get(name, ()):
+            if state.leases.fenced(name, host, now):
+                yield (f"container {name!r}: live on {host!r}, which the "
+                       f"store has fenced for it (a fenced source must "
+                       f"stop serving)")
 
 
 @DEFAULT_REGISTRY.register("kv-linearizable")

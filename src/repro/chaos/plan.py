@@ -38,8 +38,8 @@ from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional
 
 __all__ = ["FaultRule", "RnrStorm", "CqPressure", "QpErrorEvent",
-           "DaemonCrash", "HostKill", "UplinkDegrade", "FaultStats",
-           "FaultPlan"]
+           "DaemonCrash", "HostKill", "UplinkDegrade", "Partition",
+           "SchedulerCrash", "FaultStats", "FaultPlan"]
 
 
 @dataclass
@@ -197,6 +197,59 @@ class UplinkDegrade:
 
 
 @dataclass
+class Partition:
+    """A bidirectional network partition between nodes ``a`` and ``b``:
+    for the window every message between the pair — *both* directions,
+    *every* protocol (RDMA packets, TCP control segments, RPC traffic) —
+    is dropped deterministically.  This is the fault one-sided
+    :class:`FaultRule` drops cannot express: a rule drops each message
+    independently with probability p on one (src, dst, protocol) scope,
+    while a partition is total, symmetric and scope-blind, which is what
+    makes split-brain reachable (both sides keep running, neither hears
+    the other).  Drops consume no RNG draws, so adding a partition to a
+    plan leaves every probabilistic fault's stream untouched.
+    """
+
+    a: str
+    b: str
+    start_s: float
+    end_s: float
+
+    def __post_init__(self):
+        if self.a == self.b:
+            raise ValueError(f"cannot partition {self.a!r} from itself")
+        if self.end_s <= self.start_s:
+            raise ValueError("partition window ends before it starts")
+
+    def severs(self, src: str, dst: str, now: float) -> bool:
+        if not self.start_s <= now < self.end_s:
+            return False
+        return (src == self.a and dst == self.b) or \
+               (src == self.b and dst == self.a)
+
+
+@dataclass
+class SchedulerCrash:
+    """At ``at_s`` the fleet's :class:`~repro.fleet.MigrationScheduler`
+    process dies mid-drain, losing all in-memory state; ``down_s``
+    simulated seconds later a replacement scheduler restarts from the
+    :class:`~repro.fleet.SchedulerJournal`.  Unlike the fabric/RNIC
+    faults this is not enforced by an installed hook: the scheduler
+    itself polls the plan (it already holds ``chaos``) at its existing
+    admission cadence, so a crash-free plan costs zero extra events.
+    """
+
+    at_s: float
+    down_s: float = 20e-3
+
+    def __post_init__(self):
+        if self.at_s < 0:
+            raise ValueError(f"at_s must be non-negative, got {self.at_s}")
+        if self.down_s <= 0:
+            raise ValueError(f"down_s must be positive, got {self.down_s}")
+
+
+@dataclass
 class FaultStats:
     """What the plan actually did (scraped into ``chaos.*`` metrics)."""
 
@@ -211,6 +264,8 @@ class FaultStats:
     daemon_crashes: int = 0
     host_kills: int = 0
     uplink_slowdowns: int = 0
+    partition_dropped: int = 0
+    scheduler_crashes: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -233,12 +288,19 @@ class _FabricInjector:
         proceeds unchanged), ``[]`` = drop, else a list of extra delays —
         one delivery per entry (>1 entries = duplication)."""
         plan = self.plan
+        stats = plan.stats
+        # Partitions first, and deterministically: a severed link drops
+        # everything, so the rules (and their RNG draws) never get a say
+        # on a partitioned message.
+        for partition in plan.partitions:
+            if partition.severs(message.src, message.dst, now):
+                stats.partition_dropped += 1
+                return []
         matched = False
         dropped = False
         delay = 0.0
         copies: List[float] = []
         rng = plan.rng
-        stats = plan.stats
         for rule in plan.rules:
             if not rule.matches(message, now):
                 continue
@@ -342,8 +404,11 @@ class FaultPlan:
         self.daemon_crashes: List[DaemonCrash] = []
         self.host_kills: List[HostKill] = []
         self.uplink_degrades: List[UplinkDegrade] = []
+        self.partitions: List[Partition] = []
+        self.scheduler_crashes: List[SchedulerCrash] = []
         self._degraded_ports: List = []
         self._crashes_fired: set = set()
+        self._scheduler_crashes_fired: set = set()
         self.abort_boundary: Optional[str] = None
         self.stats = FaultStats()
         #: phase boundaries observed on armed migrations, in order
@@ -394,6 +459,15 @@ class FaultPlan:
         self.uplink_degrades.append(UplinkDegrade(rack, start_s, end_s, factor))
         return self
 
+    def partition(self, a: str, b: str, start_s: float,
+                  end_s: float) -> "FaultPlan":
+        self.partitions.append(Partition(a, b, start_s, end_s))
+        return self
+
+    def scheduler_crash(self, at_s: float, down_s: float = 20e-3) -> "FaultPlan":
+        self.scheduler_crashes.append(SchedulerCrash(at_s, down_s))
+        return self
+
     def abort_at(self, boundary: str) -> "FaultPlan":
         from repro.core.orchestrator import PHASE_BOUNDARIES
 
@@ -415,6 +489,7 @@ class FaultPlan:
         return not (self.rules or self.rnr_storms or self.cq_pressures
                     or self.qp_errors or self.daemon_crashes
                     or self.host_kills or self.uplink_degrades
+                    or self.partitions or self.scheduler_crashes
                     or self.abort_boundary)
 
     @property
@@ -446,6 +521,10 @@ class FaultPlan:
             if chaos.active:
                 server.rnic.chaos = chaos
         sim = network.sim
+        if hasattr(tb, "server"):
+            for part in self.partitions:
+                tb.server(part.a)  # validate early
+                tb.server(part.b)
         for event in self.qp_errors:
             tb.server(event.node)  # validate early
             sim.schedule(max(0.0, event.at_s - sim.now),
@@ -524,6 +603,19 @@ class FaultPlan:
             migration.sim.schedule(crash.down_s, control.mark_daemon_up, node)
             self.stats.daemon_crashes += 1
 
+    def scheduler_crash_due(self, now: float) -> Optional[SchedulerCrash]:
+        """The next unfired :class:`SchedulerCrash` whose time has come, or
+        ``None``.  Polled by ``MigrationScheduler.execute`` at its existing
+        admission cadence (no extra events); each crash fires once."""
+        for index, crash in enumerate(self.scheduler_crashes):
+            if index in self._scheduler_crashes_fired:
+                continue
+            if now >= crash.at_s:
+                self._scheduler_crashes_fired.add(index)
+                self.stats.scheduler_crashes += 1
+                return crash
+        return None
+
     def _fire_host_kill(self, world, kill: HostKill) -> None:
         control = world.control
         control.mark_daemon_down(kill.node)
@@ -553,6 +645,10 @@ class FaultPlan:
             parts.append(f"{len(self.host_kills)} host-kills")
         if self.uplink_degrades:
             parts.append(f"{len(self.uplink_degrades)} uplink-degrades")
+        if self.partitions:
+            parts.append(f"{len(self.partitions)} partitions")
+        if self.scheduler_crashes:
+            parts.append(f"{len(self.scheduler_crashes)} scheduler-crashes")
         if self.abort_boundary:
             parts.append(f"abort@{self.abort_boundary}")
         return f"<FaultPlan {self.name} seed={self.seed}: {', '.join(parts)}>"

@@ -40,6 +40,9 @@ QUIESCE_POLL_S = 200e-6
 HADOOP_EVERY = 6
 #: which slot of each HADOOP_EVERY-long stripe the KV scenario takes
 KV_SLOT = HADOOP_EVERY - 2
+#: which slot takes the fleet drain scenario (only when a scheduler-crash
+#: campaign is requested; base campaigns never visit it)
+FLEET_SLOT = HADOOP_EVERY - 3
 
 
 @dataclass
@@ -84,21 +87,55 @@ def _case_rng(seed: int, index: int) -> random.Random:
 
 def sample_case(seed: int, index: int, scenarios: str = "all",
                 rpc_loss: Optional[float] = None,
-                kill_dest_at: Optional[str] = None) -> TortureCase:
+                kill_dest_at: Optional[str] = None,
+                partition: Optional[float] = None,
+                kill_scheduler_at: Optional[str] = None) -> TortureCase:
     """Draw one (workload, fault plan, trigger time) tuple.
 
     ``rpc_loss`` adds a control-RPC drop rule (scoped to rpc payloads, so
     bulk transfer segments are untouched) to every case; ``kill_dest_at``
     adds a destination daemon crash at the named phase boundary (or a
-    per-case random one with ``"random"``) to perftest cases.  Both draw
-    from the case RNG *after* the base faults, so the base campaign is
-    unchanged when they are off.
+    per-case random one with ``"random"``) to perftest cases.
+    ``partition`` adds, with that probability per case, a *bidirectional*
+    src↔dst network partition (both TCP control and RDMA severed — the
+    real split-brain drill, unlike one-sided drops).  ``kill_scheduler_at``
+    (a sim-time float, or ``"random"``) enables the fleet-drain scenario
+    slot: a rack drain whose scheduler is killed mid-flight and must
+    resume from its journal.  All extras draw from the case RNG *after*
+    the base faults, so the base campaign is unchanged when they are off.
     """
     rng = _case_rng(seed, index)
-    hadoop = (scenarios in ("all", "hadoop")
+    fleet = (kill_scheduler_at is not None
+             and scenarios in ("all", "fleet")
+             and (scenarios == "fleet" or index % HADOOP_EVERY == FLEET_SLOT))
+    hadoop = (not fleet and scenarios in ("all", "hadoop")
               and (scenarios == "hadoop" or index % HADOOP_EVERY == HADOOP_EVERY - 1))
-    kv = (scenarios in ("all", "kv")
+    kv = (not fleet and scenarios in ("all", "kv")
           and (scenarios == "kv" or index % HADOOP_EVERY == KV_SLOT))
+    if fleet:
+        workload = {
+            "racks": 2,
+            "hosts_per_rack": 2,
+            "containers": 6,
+            "target": "rack0",
+            "concurrency": rng.choice([1, 2]),
+        }
+        if kill_scheduler_at == "random":
+            at_s = round(rng.uniform(0.5e-3, 8e-3), 6)
+        else:
+            at_s = float(kill_scheduler_at)
+        faults: List[Dict[str, object]] = [
+            {"kind": "scheduler_crash", "at_s": at_s,
+             "down_s": round(rng.uniform(5e-3, 2e-2), 6)}]
+        # Host-pair partitions in the fleet stay inside the RC transport's
+        # go-back-N give-up budget (~4.5ms): live WRITE streams cross the
+        # severed trunk, and a longer sever makes RETRY_EXC_ERR expected
+        # behaviour rather than an invariant violation.
+        faults += _partition_fault(
+            rng, partition, a=rng.choice(["r0h0", "r0h1"]),
+            b=rng.choice(["r1h0", "r1h1"]), window_hi=8e-3,
+            dur_lo=1e-3, dur_hi=2.5e-3)
+        return TortureCase(seed, index, "fleet", workload, faults, 0.0)
     if kv:
         workload = {
             "n_clients": rng.choice([1, 2]),
@@ -111,6 +148,8 @@ def sample_case(seed: int, index: int, scenarios: str = "all",
         faults = _sample_faults(rng, nodes=["src", "dst", "partner0",
                                             "partner1"], window_hi=0.15)
         faults += _resilience_faults(rng, rpc_loss, kill_dest_at)
+        faults += _partition_fault(rng, partition, a="src", b="dst",
+                                   window_hi=0.08, dur_lo=4e-3, dur_hi=12e-3)
         return TortureCase(seed, index, "kv", workload, faults, trigger_s)
     if hadoop:
         workload = {"task": rng.choice(["dfsio", "estimatepi"])}
@@ -130,7 +169,31 @@ def sample_case(seed: int, index: int, scenarios: str = "all",
     trigger_s = rng.uniform(0.5e-3, 3e-3)
     faults = _sample_faults(rng, nodes=["src", "dst", "partner0"], window_hi=0.12)
     faults += _resilience_faults(rng, rpc_loss, kill_dest_at)
+    faults += _partition_fault(rng, partition, a="src", b="dst",
+                               window_hi=0.08, dur_lo=4e-3, dur_hi=12e-3)
     return TortureCase(seed, index, "perftest", workload, faults, trigger_s)
+
+
+def _partition_fault(rng: random.Random, partition: Optional[float],
+                     a: str, b: str, window_hi: float,
+                     dur_lo: float, dur_hi: float) -> List[Dict[str, object]]:
+    """A probabilistic bidirectional partition overlay (``--partition P``).
+
+    The live RDMA streams run src↔partner*, so a src↔dst sever hits the
+    migration's control and transfer path — the interesting case — while
+    staying off the hot data path; its 4–12ms durations would exceed the
+    RC give-up budget on a live QP, which is exactly why the pair and
+    duration envelopes differ per scenario.  Draws nothing when the flag
+    is off (base campaigns bit-unchanged), and Hadoop cases skip it: their
+    fault windows live on a 100×-coarser timescale.
+    """
+    if not partition:
+        return []
+    if rng.random() >= partition:
+        return []
+    start = round(rng.uniform(0.0, window_hi), 6)
+    return [{"kind": "partition", "a": a, "b": b, "start_s": start,
+             "end_s": round(start + rng.uniform(dur_lo, dur_hi), 6)}]
 
 
 def _resilience_faults(rng: random.Random, rpc_loss: Optional[float],
@@ -236,6 +299,10 @@ def _apply_fault(plan: FaultPlan, spec: Dict[str, object], offset_s: float) -> N
     elif kind == "daemon_crash":
         # Boundary-keyed, not time-keyed: no window shift.
         plan.daemon_crash(spec["node"], spec["boundary"], spec["down_s"])
+    elif kind == "partition":
+        plan.partition(spec["a"], spec["b"], spec["start_s"], spec["end_s"])
+    elif kind == "scheduler_crash":
+        plan.scheduler_crash(spec["at_s"], spec["down_s"])
     elif kind == "abort":
         plan.abort_at(spec["boundary"])
     else:
@@ -290,6 +357,8 @@ def run_case(case: TortureCase) -> TortureOutcome:
         ctx = _run_hadoop_case(case)
     elif case.scenario == "kv":
         ctx = _run_kv_case(case)
+    elif case.scenario == "fleet":
+        ctx = _run_fleet_case(case)
     else:
         ctx = _run_perftest_case(case)
     report = DEFAULT_REGISTRY.run(ctx)
@@ -432,6 +501,53 @@ def _run_kv_case(case: TortureCase) -> InvariantContext:
                             reports=reports, plan=plan)
 
 
+def _run_fleet_case(case: TortureCase) -> InvariantContext:
+    """Fleet-drain torture: a rack drain whose scheduler dies mid-flight.
+
+    The drain runs through :func:`~repro.fleet.drain_with_recovery`, so
+    the scheduler-crash fault kills one incarnation and a replacement
+    resumes from the journal.  Afterwards the full registry runs —
+    including ``fleet-placement`` (no container lost, duplicated, or
+    frozen) and ``lease-fencing`` (no split-brain reachable) — over every
+    per-migration report from every incarnation.
+    """
+    from repro.fleet import (AdmissionLimits, MigrationScheduler,
+                             SchedulerJournal, build_fleet,
+                             drain_with_recovery)
+
+    w = case.workload
+    fleet = build_fleet(racks=w["racks"], hosts_per_rack=w["hosts_per_rack"],
+                        containers=w["containers"],
+                        seed=case.plan_seed % (2 ** 31))
+    fleet.run(fleet.setup())
+    plan = build_plan(case, offset_s=fleet.sim.now)
+    plan.install(fleet)
+    fleet.start_traffic()
+    c = w.get("concurrency", 2)
+    limits = AdmissionLimits(fleet=c, per_host=c, per_rack=c, per_uplink=c)
+    scheduler = MigrationScheduler(fleet, limits=limits, chaos=plan)
+    jobs = scheduler.plan("drain", w["target"])
+    journal = SchedulerJournal()
+
+    def flow():
+        freport = yield from drain_with_recovery(scheduler, jobs,
+                                                 journal=journal)
+        yield fleet.sim.timeout(3e-3)
+        yield from fleet.quiesce()
+        return freport
+
+    tb_report = fleet.run(flow(), limit=1200.0)
+    errors = []
+    if tb_report.failed:
+        failed = [o.container for o in tb_report.outcomes if not o.completed]
+        errors.append(f"fleet drain left {tb_report.failed} jobs unfinished: "
+                      f"{', '.join(failed)}")
+    return InvariantContext(fleet, world=fleet.world,
+                            endpoints=fleet.endpoints, pairs=fleet.pairs,
+                            reports=journal.migration_reports, plan=plan,
+                            workload_errors=errors, fleet=fleet)
+
+
 def _run_hadoop_case(case: TortureCase) -> InvariantContext:
     from repro.apps.hadoop_scenarios import fast_test_config, run_scenario
 
@@ -499,7 +615,9 @@ def torture_sweep(seed: int, runs: int, scenarios: str = "all",
                   jobs: int = 1,
                   log: Optional[Callable[[str], None]] = None,
                   rpc_loss: Optional[float] = None,
-                  kill_dest_at: Optional[str] = None
+                  kill_dest_at: Optional[str] = None,
+                  partition: Optional[float] = None,
+                  kill_scheduler_at: Optional[str] = None
                   ) -> List[TortureOutcome]:
     """Run the campaign through the parallel engine; returns one outcome
     per run, in run order.
@@ -514,7 +632,9 @@ def torture_sweep(seed: int, runs: int, scenarios: str = "all",
 
     specs = [TaskSpec("repro.parallel.runners.torture_run",
                       dict(seed=seed, index=index, scenarios=scenarios,
-                           rpc_loss=rpc_loss, kill_dest_at=kill_dest_at),
+                           rpc_loss=rpc_loss, kill_dest_at=kill_dest_at,
+                           partition=partition,
+                           kill_scheduler_at=kill_scheduler_at),
                       label=f"torture:{seed}:{index}")
              for index in range(runs)]
 
@@ -538,7 +658,9 @@ def torture_sweep(seed: int, runs: int, scenarios: str = "all",
             outcomes.append(result.value)
         else:
             case = sample_case(seed, result.index, scenarios,
-                               rpc_loss=rpc_loss, kill_dest_at=kill_dest_at)
+                               rpc_loss=rpc_loss, kill_dest_at=kill_dest_at,
+                               partition=partition,
+                               kill_scheduler_at=kill_scheduler_at)
             if log is not None:
                 log(f"run {result.index} harness crash:\n{result.error}")
             outcomes.append(crash_outcome(case, result.error_type or "crash"))
@@ -550,10 +672,14 @@ def torture(seed: int, runs: int, scenarios: str = "all",
             log: Callable[[str], None] = print,
             jobs: int = 1,
             rpc_loss: Optional[float] = None,
-            kill_dest_at: Optional[str] = None) -> List[TortureOutcome]:
+            kill_dest_at: Optional[str] = None,
+            partition: Optional[float] = None,
+            kill_scheduler_at: Optional[str] = None) -> List[TortureOutcome]:
     """Run the sweep; returns the failing outcomes (empty = all clean)."""
     outcomes = torture_sweep(seed, runs, scenarios, jobs=jobs, log=log,
-                             rpc_loss=rpc_loss, kill_dest_at=kill_dest_at)
+                             rpc_loss=rpc_loss, kill_dest_at=kill_dest_at,
+                             partition=partition,
+                             kill_scheduler_at=kill_scheduler_at)
     failures: List[TortureOutcome] = []
     for outcome in outcomes:
         if outcome.ok:

@@ -10,6 +10,7 @@ Units: seconds for times, bytes for sizes, Hz for rates unless noted.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 
 KiB = 1024
@@ -155,6 +156,20 @@ class MigrationConfig:
     # Pre-copy loop control.
     precopy_max_iterations: int = 8
     precopy_stop_threshold_pages: int = 64
+
+    # Pre-copy convergence watchdog / degradation ladder (DESIGN.md §15).
+    # The watchdog always *observes* per-round dirty-vs-shipped bytes, but
+    # the ladder only *acts* when `precopy_blackout_budget_s` is finite:
+    # the inf default keeps every pre-existing run's event timing and
+    # digests bit-identical.  When armed, rounds that stop converging
+    # (dirty grew by >= `precopy_divergence_ratio` for
+    # `precopy_divergence_rounds` consecutive rounds) are capped early:
+    # stop-and-copy is forced if the projected blackout fits the budget,
+    # otherwise the migration postpones (PrecopyDiverged -> rollback ->
+    # scheduler requeue with backoff).
+    precopy_blackout_budget_s: float = math.inf
+    precopy_divergence_rounds: int = 2
+    precopy_divergence_ratio: float = 1.05
 
     # State transfer uses a TCP stream over the same fabric.
     transfer_rate_bps: float = 40e9  # effective TCP goodput

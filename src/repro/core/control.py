@@ -67,6 +67,10 @@ class ControlPlane:
         self._idem_cache: Dict[str, Tuple[dict, int]] = {}
         self._idem_seq = itertools.count(1)
         self.stats = ResilienceStats()
+        #: per-peer heartbeat-detector counters (misses/suspicions/flaps),
+        #: folded in by each FailureDetector when it stops so the metrics
+        #: scrape covers detector behaviour across all migrations of a run
+        self.detector_stats: Dict[str, Dict[str, int]] = {}
 
     # -- registration -----------------------------------------------------
 
@@ -89,6 +93,16 @@ class ControlPlane:
 
     def daemon_down(self, server_name: str) -> bool:
         return server_name in self._down
+
+    def note_detector(self, peer: str, misses: int, suspicions: int,
+                      flaps: int) -> None:
+        """Accumulate one stopped :class:`FailureDetector`'s per-peer
+        counters (all simulated-time quantities, safe to digest)."""
+        entry = self.detector_stats.setdefault(
+            peer, {"misses": 0, "suspicions": 0, "flaps": 0})
+        entry["misses"] += misses
+        entry["suspicions"] += suspicions
+        entry["flaps"] += flaps
 
     # -- transport ----------------------------------------------------------
 

@@ -40,13 +40,14 @@ from repro.cluster import Container, Server
 from repro.core.plugin import MigrRdmaPlugin
 from repro.core.world import MigrRdmaWorld
 from repro.metrics import BlackoutBreakdown, PhaseTimer
-from repro.migration import CriuEngine, Runc
+from repro.migration import CriuEngine, PrecopyDecision, PrecopyWatchdog, Runc
 from repro.resilience import (
     DEFAULT_RETRY_POLICY,
     PATIENT_RETRY_POLICY,
     FailureDetector,
     MigrationError,
     PhaseJournal,
+    PrecopyDiverged,
     PresetupFailed,
     WbsStuck,
 )
@@ -102,6 +103,9 @@ class MigrationReport:
     wbs_wall_s: float = 0.0
     wbs_timed_out: bool = False
     precopy_iterations: int = 0
+    #: True when the convergence watchdog cut the pre-copy loop short and
+    #: forced stop-and-copy inside the blackout budget (DESIGN.md §15).
+    precopy_capped: bool = False
     bytes_transferred: int = 0
     aborted: bool = False
     #: Identity of the run (who migrated where), for post-mortems and the
@@ -173,6 +177,13 @@ class LiveMigration:
         self._abort_requested = False
         #: Optional fault plan (repro.chaos) notified at each boundary.
         self.chaos = None
+        #: Optional :class:`~repro.fleet.lease.LeaseGuard`: when set, the
+        #: destination must acquire the container's placement lease (a
+        #: fencing-token transfer in the FleetState store) before the
+        #: restored apps resume — the go-live gate of DESIGN.md §15.
+        self.lease_guard = None
+        #: Pre-copy convergence watchdog for the last/ongoing attempt.
+        self.watchdog: Optional[PrecopyWatchdog] = None
         self.journal = PhaseJournal(PHASE_BOUNDARIES, COMMIT_POINT)
         self.detector: Optional[FailureDetector] = None
         self._session = None
@@ -278,16 +289,34 @@ class LiveMigration:
         if self.presetup:
             yield from self._notify_partners(partners)
 
+        watchdog = PrecopyWatchdog(mig)
+        self.watchdog = watchdog
         for _ in range(self.precopy_iterations):
             if self._abort_requested:
                 break
-            if self._dirty_pages() <= mig.precopy_stop_threshold_pages:
+            dirty = self._dirty_pages()
+            if dirty <= mig.precopy_stop_threshold_pages:
                 break
+            decision = watchdog.decide(dirty)
+            if decision == PrecopyDecision.POSTPONE:
+                est = watchdog.est_blackout_s(dirty)
+                raise PrecopyDiverged(
+                    f"pre-copy stopped converging after "
+                    f"{len(watchdog.rounds)} rounds ({dirty} pages dirty); "
+                    f"projected blackout {est * 1e3:.2f}ms exceeds budget "
+                    f"{mig.precopy_blackout_budget_s * 1e3:.2f}ms",
+                    dirty_pages=dirty, est_blackout_s=est,
+                    rounds=len(watchdog.rounds))
+            if decision == PrecopyDecision.STOP_COPY:
+                report.precopy_capped = True
+                break
+            t_round = self.sim.now
             diff = yield from self.runc.checkpoint_memory_only(self.container)
             yield from channel.transfer(diff.size_bytes, src=self.source.name)
             report.bytes_transferred += diff.size_bytes
             yield from self.runc.apply_iteration(self._session, diff)
             report.precopy_iterations += 1
+            watchdog.observe(dirty, diff.size_bytes, self.sim.now - t_round)
         self._boundary("precopy-iterated")
 
         if self.presetup and not self._abort_requested:
@@ -387,6 +416,12 @@ class LiveMigration:
         self._boundary("restored")
 
         # ---- Resume (step 7) -----------------------------------------------
+        if self.lease_guard is not None:
+            # Fencing gate: the destination only goes live holding the
+            # container's placement lease.  The transfer bumps the fencing
+            # epoch, so a source cut off by a partition can never serve
+            # past this instant even after the partition heals.
+            self.lease_guard.acquire(self.dest.name, self.sim.now)
         restored = self.runc.exec_restore(self._session)
         self._resume_apps(self._session, restored)
         report.t_resume = self.sim.now

@@ -323,7 +323,9 @@ def cmd_torture(args) -> int:
 
     failures = torture(args.seed, args.runs, scenarios=args.scenario,
                        shrink_failures=not args.no_shrink, jobs=args.jobs,
-                       rpc_loss=args.rpc_loss, kill_dest_at=args.kill_dest_at)
+                       rpc_loss=args.rpc_loss, kill_dest_at=args.kill_dest_at,
+                       partition=args.partition,
+                       kill_scheduler_at=args.kill_scheduler_at)
     if failures:
         print(f"{len(failures)} of {args.runs} runs violated invariants")
         return 1
@@ -380,7 +382,12 @@ def cmd_fleet(args) -> int:
                            kill_host=args.kill_host, kill_at=args.kill_at,
                            degrade_rack=args.degrade_rack,
                            degrade_factor=args.degrade_factor,
-                           kv_pairs=args.kv_pairs),
+                           kv_pairs=args.kv_pairs,
+                           partition_hosts=args.partition_hosts,
+                           partition_start_s=args.partition_at,
+                           partition_dur_s=args.partition_dur,
+                           kill_scheduler_at=args.kill_scheduler_at,
+                           scheduler_down_s=args.scheduler_down_s),
                       label=f"fleet:c{concurrency}")
              for concurrency in args.concurrency]
     results, failed = _sweep(specs, args.jobs)
@@ -495,6 +502,14 @@ def main(argv=None) -> int:
     px.add_argument("--kill-dest-at", default=None, metavar="BOUNDARY",
                     help="crash the destination daemon at a phase boundary "
                          "('random' = pick one per case)")
+    px.add_argument("--partition", type=float, default=None, metavar="P",
+                    help="with prob. P per case, sever both directions "
+                         "between a node pair (TCP control and RDMA alike)")
+    px.add_argument("--kill-scheduler-at", default=None, metavar="T",
+                    help="enable the fleet-drain scenario slot and crash "
+                         "its scheduler T sim-seconds into the drain "
+                         "('random' = pick per case); recovery resumes "
+                         "from the journal")
     add_jobs(px)
 
     pf = sub.add_parser("fleet",
@@ -525,6 +540,21 @@ def main(argv=None) -> int:
     pf.add_argument("--degrade-rack", default=None, metavar="RACK",
                     help="slow RACK's ToR uplink during the drain")
     pf.add_argument("--degrade-factor", type=float, default=4.0)
+    pf.add_argument("--partition-hosts", default=None, metavar="A:B",
+                    help="sever both directions between hosts A and B "
+                         "mid-drain (lease fencing must hold)")
+    pf.add_argument("--partition-at", type=float, default=5e-3, metavar="T",
+                    help="sim seconds after traffic start for "
+                         "--partition-hosts")
+    pf.add_argument("--partition-dur", type=float, default=2e-3,
+                    metavar="D", help="partition duration in sim seconds")
+    pf.add_argument("--kill-scheduler-at", type=float, default=None,
+                    metavar="T",
+                    help="crash the drain scheduler T sim-seconds after "
+                         "traffic start; a recovery incarnation resumes "
+                         "from the journal")
+    pf.add_argument("--scheduler-down-s", type=float, default=20e-3,
+                    metavar="D", help="scheduler outage duration")
     pf.add_argument("--kv-pairs", type=int, default=0, metavar="N",
                     help="also place N KV server/client container pairs "
                          "(tenant 'kv') that migrate with the drain")

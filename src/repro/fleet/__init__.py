@@ -24,6 +24,8 @@ See DESIGN.md §13 and ``examples/fleet_drain.py``.
 """
 
 from repro.fleet.builder import Fleet, FleetSpec, build_fleet
+from repro.fleet.journal import JournalEntry, SchedulerJournal
+from repro.fleet.lease import Lease, LeaseError, LeaseGuard, LeaseTable
 from repro.fleet.report import FleetReport, MigrationOutcome
 from repro.fleet.scheduler import (
     AdmissionLimits,
@@ -31,12 +33,14 @@ from repro.fleet.scheduler import (
     MigrationScheduler,
     PLACEMENT_POLICIES,
     SCHEDULING_POLICIES,
+    drain_with_recovery,
 )
 from repro.fleet.state import ContainerInfo, FleetState, HostInfo
 
 __all__ = [
     "AdmissionLimits", "ContainerInfo", "Fleet", "FleetReport", "FleetSpec",
-    "FleetState", "HostInfo", "MigrationJob", "MigrationOutcome",
+    "FleetState", "HostInfo", "JournalEntry", "Lease", "LeaseError",
+    "LeaseGuard", "LeaseTable", "MigrationJob", "MigrationOutcome",
     "MigrationScheduler", "PLACEMENT_POLICIES", "SCHEDULING_POLICIES",
-    "build_fleet",
+    "SchedulerJournal", "build_fleet", "drain_with_recovery",
 ]

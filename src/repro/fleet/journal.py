@@ -1,0 +1,156 @@
+"""The scheduler journal: crash-recoverable drain progress.
+
+Same discipline as the per-migration
+:class:`~repro.resilience.PhaseJournal` (PR 5), one level up: where the
+phase journal lets one migration's transaction roll back or forward
+after a failure, the scheduler journal lets the *drain* resume after the
+scheduler itself dies.  Every job moves through exactly three boundaries
+— ``planned`` → ``launched`` → ``settled`` — and each transition is
+recorded **before** the side effect it describes becomes visible, so a
+crash between any two steps leaves the journal describing a recoverable
+state:
+
+- *planned, not launched* — nothing has happened; the recovery
+  scheduler re-queues the job,
+- *launched, not settled* — a supervisor process is (or was) running;
+  the journal keeps the live process handle, and recovery **re-adopts**
+  it instead of relaunching — that is the no-double-migration rule.
+  If the supervisor already finished while the scheduler was down, the
+  recovery scheduler settles it from the recorded handle — that is the
+  no-orphaned-container rule,
+- *settled* — the outcome is in the report; recovery skips it.
+
+The journal lives in the FleetState store's failure domain (the same
+logically-centralized, durable store that backs leases), not in the
+scheduler process — which is exactly why a scheduler crash cannot lose
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["JournalEntry", "SchedulerJournal"]
+
+PLANNED = "planned"
+LAUNCHED = "launched"
+SETTLED = "settled"
+
+
+@dataclass
+class JournalEntry:
+    """One job's progress record."""
+
+    job: object  # the MigrationJob, kept whole so recovery re-plans nothing
+    status: str = PLANNED
+    dest: str = ""
+    #: live supervisor process handle (recovery re-adopts it)
+    proc: object = None
+    #: the job's LeaseGuard (recovery keeps fencing state consistent)
+    guard: object = None
+    t_planned: float = 0.0
+    t_launched: float = 0.0
+    t_settled: float = 0.0
+    completed: bool = False
+
+    @property
+    def container(self) -> str:
+        return self.job.container
+
+
+class SchedulerJournal:
+    """Ordered per-container journal of one drain plan's execution."""
+
+    def __init__(self):
+        self.entries: Dict[str, JournalEntry] = {}
+        #: append-only transition log, for post-mortems and tests
+        self.log: List[tuple] = []
+        #: drain start time, preserved across scheduler incarnations so
+        #: the final FleetReport window covers the whole drain
+        self.t_start: Optional[float] = None
+        #: per-migration reports accumulate here (not in the scheduler)
+        #: so invariants see every attempt regardless of which scheduler
+        #: incarnation settled it
+        self.migration_reports: List[object] = []
+        self.crashes = 0
+
+    # ------------------------------------------------------------------
+    # transitions
+
+    def record_planned(self, job, now: float) -> JournalEntry:
+        """Idempotent: re-planning after recovery finds the entry."""
+        entry = self.entries.get(job.container)
+        if entry is not None:
+            return entry
+        entry = JournalEntry(job=job, t_planned=now)
+        self.entries[job.container] = entry
+        self.log.append((PLANNED, job.container, now))
+        return entry
+
+    def record_launched(self, container: str, dest: str, proc, guard,
+                        now: float) -> None:
+        entry = self._require(container)
+        if entry.status == SETTLED:
+            raise RuntimeError(f"job {container!r} already settled; "
+                               f"a relaunch would double-migrate")
+        entry.status = LAUNCHED
+        entry.dest = dest
+        entry.proc = proc
+        entry.guard = guard
+        entry.t_launched = now
+        self.log.append((LAUNCHED, container, now))
+
+    def record_settled(self, container: str, completed: bool,
+                       now: float) -> None:
+        entry = self._require(container)
+        entry.status = SETTLED
+        entry.completed = completed
+        entry.t_settled = now
+        self.log.append((SETTLED, container, now))
+
+    def record_requeued(self, container: str, now: float) -> None:
+        """A postponed job goes back to *planned* (new launch, new
+        attempt budget) — distinct from settle, which is terminal."""
+        entry = self._require(container)
+        entry.status = PLANNED
+        entry.proc = None
+        self.log.append(("requeued", container, now))
+
+    def note_crash(self, now: float) -> None:
+        self.crashes += 1
+        self.log.append(("crash", "", now))
+
+    def _require(self, container: str) -> JournalEntry:
+        entry = self.entries.get(container)
+        if entry is None:
+            raise LookupError(f"no journal entry for {container!r}")
+        return entry
+
+    # ------------------------------------------------------------------
+    # recovery queries
+
+    def unlaunched(self) -> List[JournalEntry]:
+        """Planned-but-never-launched entries, in plan order."""
+        return [e for e in self.entries.values() if e.status == PLANNED]
+
+    def inflight(self) -> List[JournalEntry]:
+        """Launched-but-unsettled entries (live or finished supervisors a
+        crashed scheduler abandoned), in launch order."""
+        return sorted((e for e in self.entries.values()
+                       if e.status == LAUNCHED),
+                      key=lambda e: e.t_launched)
+
+    def settled(self) -> List[JournalEntry]:
+        return [e for e in self.entries.values() if e.status == SETTLED]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        counts = {PLANNED: 0, LAUNCHED: 0, SETTLED: 0}
+        for entry in self.entries.values():
+            counts[entry.status] += 1
+        return (f"<SchedulerJournal planned={counts[PLANNED]} "
+                f"launched={counts[LAUNCHED]} settled={counts[SETTLED]} "
+                f"crashes={self.crashes}>")

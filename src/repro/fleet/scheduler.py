@@ -29,10 +29,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.resilience import MigrationSupervisor
 
+from .journal import SchedulerJournal
+from .lease import LeaseGuard
 from .report import FleetReport, MigrationOutcome
 
 __all__ = ["AdmissionLimits", "MigrationJob", "MigrationScheduler",
-           "PLACEMENT_POLICIES", "SCHEDULING_POLICIES"]
+           "PLACEMENT_POLICIES", "SCHEDULING_POLICIES",
+           "drain_with_recovery"]
 
 #: scheduler poll interval: reap finished migrations, admit new ones
 POLL_S = 200e-6
@@ -72,6 +75,10 @@ class MigrationJob:
     exclude: Tuple[str, ...] = ()
     dest: str = ""
     t_admitted: float = 0.0
+    #: postponed jobs (PrecopyDiverged) are not admitted before this time
+    not_before: float = 0.0
+    #: how many times the scheduler has requeued this job with backoff
+    requeues: int = 0
 
 
 class MigrationScheduler:
@@ -79,7 +86,8 @@ class MigrationScheduler:
 
     def __init__(self, fleet, limits: Optional[AdmissionLimits] = None,
                  placement: str = "least-loaded", budget: int = 3,
-                 backoff_s: float = 2e-3, chaos=None):
+                 backoff_s: float = 2e-3, chaos=None,
+                 requeue_backoff_s: float = 10e-3, max_requeues: int = 2):
         if placement not in PLACEMENT_POLICIES:
             raise ValueError(f"unknown placement policy {placement!r}; "
                              f"choose from {PLACEMENT_POLICIES}")
@@ -91,12 +99,22 @@ class MigrationScheduler:
         self.placement = placement
         self.budget = budget
         self.backoff_s = backoff_s
+        #: scheduler-level requeue backoff for postponed (PrecopyDiverged)
+        #: jobs — deterministic doubling, no RNG
+        self.requeue_backoff_s = requeue_backoff_s
+        self.max_requeues = max_requeues
         #: optional FaultPlan: armed on every attempt (and its RNG seeds
         #: the supervisor's backoff jitter), same contract as torture runs
         self.chaos = chaos
         #: raw per-migration reports, for invariants and post-mortems
+        #: (aliased to the journal's list once execute() runs, so reports
+        #: survive scheduler crashes)
         self.migration_reports: List[object] = []
         self.report: Optional[FleetReport] = None
+        self.journal: Optional[SchedulerJournal] = None
+        #: set when a SchedulerCrash chaos fault killed this incarnation
+        self.crashed = False
+        self.crash_event = None
         self._policy = ""
         self._target = ""
         self._host_index = {name: i for i, name in enumerate(self.state.hosts)}
@@ -206,7 +224,20 @@ class MigrationScheduler:
             return False
         return True
 
-    def _dest_admissible(self, active, dest: str, source: str) -> bool:
+    def _dest_admissible(self, active, dest: str, source: str,
+                         container: Optional[str] = None) -> bool:
+        # Health gates first: never send a container to a host the
+        # control plane distrusts (operator/partition suspect mark), to a
+        # host whose daemon is known down, or to a host that is
+        # lease-fenced for this container (a revoked former holder may
+        # hold stale partial state).
+        if dest in self.state.suspected:
+            return False
+        if self.world.control.daemon_down(dest):
+            return False
+        if container is not None \
+                and self.state.leases.fenced(container, dest, self.sim.now):
+            return False
         if self._host_touch(active, dest) >= self.limits.per_host:
             return False
         src_rack = self.state.rack_of(source)
@@ -237,8 +268,8 @@ class MigrationScheduler:
         candidates = [
             host for host in self.state.candidates(job.container,
                                                    exclude=job.exclude)
-            if host != job.source and self._dest_admissible(active, host,
-                                                            job.source)
+            if host != job.source and self._dest_admissible(
+                active, host, job.source, container=job.container)
         ]
         if not candidates:
             return None, ()
@@ -248,23 +279,59 @@ class MigrationScheduler:
     # ------------------------------------------------------------------
     # execution
 
-    def execute(self, jobs: Sequence[MigrationJob]):
+    def execute(self, jobs: Sequence[MigrationJob],
+                journal: Optional[SchedulerJournal] = None,
+                report: Optional[FleetReport] = None):
         """Generator: run the plan to completion; returns the
         :class:`FleetReport`.  Spawn on the fleet simulator via
-        ``fleet.run(scheduler.execute(jobs))``."""
-        report = FleetReport(policy=self._policy, target=self._target,
-                             placement=self.placement)
+        ``fleet.run(scheduler.execute(jobs))``.
+
+        Every job's progress is journalled (planned → launched →
+        settled).  Pass the previous incarnation's ``journal`` and
+        ``report`` to *recover* a crashed drain: settled jobs are
+        skipped, in-flight supervisor processes are re-adopted (never
+        relaunched — the no-double-migration rule), and unlaunched jobs
+        queue as normal.  A :class:`~repro.chaos.SchedulerCrash` fault in
+        ``self.chaos`` kills this incarnation at its scheduled time:
+        ``execute`` returns early with ``self.crashed`` set and all
+        in-memory state abandoned — only the journal survives
+        (:func:`drain_with_recovery` wraps the restart loop).
+        """
+        if report is None:
+            report = FleetReport(policy=self._policy, target=self._target,
+                                 placement=self.placement)
         self.report = report
-        t_start = self.sim.now
-        pending: List[MigrationJob] = list(jobs)
-        active: Dict[str, Tuple[MigrationJob, object]] = {}
+        if journal is None:
+            journal = SchedulerJournal()
+        self.journal = journal
+        self.migration_reports = journal.migration_reports
+        if journal.t_start is None:
+            journal.t_start = self.sim.now
+        for job in jobs:
+            journal.record_planned(job, self.sim.now)
+        # Recovery: re-adopt in-flight supervisors, requeue the rest.
+        pending: List[MigrationJob] = [e.job for e in journal.unlaunched()]
+        active: Dict[str, Tuple[MigrationJob, object]] = {
+            e.container: (e.job, e.proc) for e in journal.inflight()}
         topology = getattr(self.fleet, "topology", None)
         while pending or active:
+            if self.chaos is not None:
+                crash = self.chaos.scheduler_crash_due(self.sim.now)
+                if crash is not None:
+                    # This incarnation dies here: pending/active are
+                    # abandoned (supervisor processes keep running —
+                    # they are independent sim processes), the journal
+                    # is the only survivor.
+                    self.crashed = True
+                    self.crash_event = crash
+                    journal.note_crash(self.sim.now)
+                    return report
             # Reap finished migrations (insertion order = admission order).
             for name in [n for n, (_, proc) in active.items()
                          if not proc.is_alive]:
                 job, proc = active.pop(name)
-                self._settle(job, proc, report)
+                if self._settle(job, proc, report):
+                    pending.append(job)  # postponed: requeued with backoff
             # Admit everything the limits allow, in plan order.
             admitted = True
             while admitted and pending:
@@ -272,6 +339,8 @@ class MigrationScheduler:
                 for job in pending:
                     if job.container in active:
                         continue  # same container queued twice: wait
+                    if self.sim.now < job.not_before:
+                        continue  # requeued job still backing off
                     if not self._source_admissible(active, job):
                         continue
                     dest, alternates = self._pick_dest(active, job)
@@ -283,11 +352,14 @@ class MigrationScheduler:
                     break
             report.observe_concurrency(len(active))
             report.observe_links(topology)
-            if pending and not active:
+            if pending and not active \
+                    and all(self.sim.now >= job.not_before for job in pending):
                 # Nothing running and nothing admissible: no future event
                 # can unblock the plan, so fail the remainder explicitly
-                # rather than spinning forever.
+                # rather than spinning forever.  (Jobs merely backing off
+                # keep the loop alive instead.)
                 for job in pending:
+                    journal.record_settled(job.container, False, self.sim.now)
                     report.add(MigrationOutcome(
                         container=job.container, source=job.source, dest="",
                         completed=False, attempts=0, blackout_s=None,
@@ -297,7 +369,7 @@ class MigrationScheduler:
                 break
             if pending or active:
                 yield self.sim.timeout(POLL_S)
-        report.finalize(topology, t_start, self.sim.now)
+        report.finalize(topology, journal.t_start, self.sim.now)
         return report
 
     def _launch(self, job: MigrationJob, dest: str,
@@ -305,31 +377,76 @@ class MigrationScheduler:
         job.dest = dest
         job.t_admitted = self.sim.now
         container = self.fleet.server(job.source).containers[job.container]
+        guard = LeaseGuard(self.state.leases, job.container, job.source)
         supervisor = MigrationSupervisor(
             self.world, container, self.fleet.server(dest),
             alternates=[self.fleet.server(name) for name in alternates],
             budget=self.budget, backoff_s=self.backoff_s, chaos=self.chaos)
-        proc = self.sim.spawn(supervisor.run(),
-                              name=f"fleet:{job.container}")
+        proc = self.sim.spawn(
+            supervisor.run(migration_factory=self._fenced_factory(guard)),
+            name=f"fleet:{job.container}")
         active[job.container] = (job, proc)
+        self.journal.record_launched(job.container, dest, proc, guard,
+                                     self.sim.now)
 
-    def _settle(self, job: MigrationJob, proc, report: FleetReport) -> None:
-        """Fold one finished supervisor run into fleet state + report."""
+    def _fenced_factory(self, guard: LeaseGuard):
+        """Per-attempt migration factory: reserves the destination's lease
+        epoch (releasing the previous reservation on a reroute) and wires
+        the guard into the orchestrator's resume gate."""
+        from repro.core.orchestrator import LiveMigration
+
+        world = self.world
+        container = self.fleet.server(guard.source).containers[guard.container]
+
+        def factory(dest_server):
+            guard.prepare(dest_server.name, self.sim.now)
+            migration = LiveMigration(world, container, dest_server)
+            migration.lease_guard = guard
+            return migration
+
+        return factory
+
+    def _settle(self, job: MigrationJob, proc,
+                report: FleetReport) -> bool:
+        """Fold one finished supervisor run into fleet state + report.
+        Returns True when the job was *requeued* (postponed migration)
+        rather than settled."""
+        journal = self.journal
+        entry = journal.entries.get(job.container)
+        guard = entry.guard if entry is not None else None
         if not proc.ok:
             # The supervisor itself crashed (not a rolled-back migration —
             # those return a report).  The container stays where it was;
             # sim-health will flag the failed process.
+            if guard is not None:
+                guard.abandon(self.sim.now)
+            journal.record_settled(job.container, False, self.sim.now)
             report.add(MigrationOutcome(
                 container=job.container, source=job.source, dest=job.dest,
                 completed=False, attempts=0, blackout_s=None,
                 t_admitted=job.t_admitted, t_done=self.sim.now,
                 failure=f"supervisor crashed: {proc.exception!r}"))
-            return
+            return False
         mreport = proc.value
         self.migration_reports.append(mreport)
         completed = not mreport.aborted
         if completed:
             self.state.place(job.container, mreport.dest_name)
+        elif mreport.failure and "PrecopyDiverged" in mreport.failure \
+                and job.requeues < self.max_requeues:
+            # The degradation ladder's last rung: the migration is
+            # hopeless *right now* (hot writer, degraded uplink), so back
+            # off at the scheduler instead of burning supervisor retries.
+            job.requeues += 1
+            job.not_before = self.sim.now \
+                + self.requeue_backoff_s * (2.0 ** (job.requeues - 1))
+            if guard is not None:
+                guard.abandon(self.sim.now)
+            journal.record_requeued(job.container, self.sim.now)
+            return True
+        if not completed and guard is not None:
+            guard.abandon(self.sim.now)
+        journal.record_settled(job.container, completed, self.sim.now)
         report.add(MigrationOutcome(
             container=job.container, source=job.source,
             dest=mreport.dest_name if completed else job.dest,
@@ -338,3 +455,38 @@ class MigrationScheduler:
             blackout_s=mreport.blackout_s,
             t_admitted=job.t_admitted, t_done=self.sim.now,
             failure=mreport.failure))
+        return False
+
+
+def drain_with_recovery(scheduler: MigrationScheduler,
+                        jobs: Sequence[MigrationJob],
+                        journal: Optional[SchedulerJournal] = None):
+    """Generator: run a drain to completion across scheduler crashes.
+
+    Runs ``scheduler.execute(jobs)``; whenever the incarnation dies to a
+    :class:`~repro.chaos.SchedulerCrash` fault, waits out the crash's
+    ``down_s``, builds a replacement scheduler with the same policy
+    knobs, and resumes from the journal.  With no crash faults armed
+    this is exactly one ``execute`` call — bit-identical to calling it
+    directly.  Returns the final :class:`FleetReport`; the journal
+    (``scheduler.journal`` of any incarnation) holds every per-migration
+    report and the full transition log.
+    """
+    if journal is None:
+        journal = SchedulerJournal()
+    report = yield from scheduler.execute(jobs, journal=journal)
+    while scheduler.crashed:
+        crash = scheduler.crash_event
+        yield scheduler.sim.timeout(crash.down_s)
+        replacement = MigrationScheduler(
+            scheduler.fleet, limits=scheduler.limits,
+            placement=scheduler.placement, budget=scheduler.budget,
+            backoff_s=scheduler.backoff_s, chaos=scheduler.chaos,
+            requeue_backoff_s=scheduler.requeue_backoff_s,
+            max_requeues=scheduler.max_requeues)
+        replacement._policy = scheduler._policy
+        replacement._target = scheduler._target
+        report = yield from replacement.execute([], journal=journal,
+                                                report=report)
+        scheduler = replacement
+    return report

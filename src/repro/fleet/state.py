@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set
 
+from .lease import LeaseTable
+
 __all__ = ["ContainerInfo", "FleetState", "HostInfo"]
 
 
@@ -49,6 +51,14 @@ class FleetState:
         self.containers: Dict[str, ContainerInfo] = {}
         self.placements: Dict[str, str] = {}
         self.draining: Set[str] = set()
+        #: placement leases with fencing epochs (DESIGN.md §15): every
+        #: tracked container's placement is backed by a lease here, and
+        #: migrations hand placements over via fenced epoch transfers
+        self.leases = LeaseTable()
+        #: hosts the control plane currently distrusts (force-marked by
+        #: an operator or a partition report); never picked as
+        #: destinations until the mark clears
+        self.suspected: Set[str] = set()
 
     # ------------------------------------------------------------------
     # registration
@@ -70,6 +80,9 @@ class FleetState:
         info = ContainerInfo(name=name, qps=qps, memory_bytes=memory_bytes)
         self.containers[name] = info
         self.placements[name] = host
+        # Initial placements are leased at epoch 1 from t=0 (registration
+        # happens before the simulation runs; pure bookkeeping, no events).
+        self.leases.grant(name, host, now=0.0)
         return info
 
     def _require_host(self, name: str) -> HostInfo:
@@ -132,6 +145,15 @@ class FleetState:
 
     def clear_draining(self, host: str) -> None:
         self.draining.discard(host)
+
+    def suspect(self, host: str) -> None:
+        """Distrust ``host`` (operator mark / partition report): the
+        scheduler will not choose it as a destination until cleared."""
+        self._require_host(host)
+        self.suspected.add(host)
+
+    def clear_suspect(self, host: str) -> None:
+        self.suspected.discard(host)
 
     def fits(self, host: str, container: str) -> bool:
         """Would placing ``container`` on ``host`` respect its quotas?

@@ -9,7 +9,13 @@ Exec).
 """
 
 from repro.migration.images import ContainerImage, MemoryImage, ProcessImage
-from repro.migration.criu import CriuEngine, CriuPlugin, RestoreSession
+from repro.migration.criu import (
+    CriuEngine,
+    CriuPlugin,
+    PrecopyDecision,
+    PrecopyWatchdog,
+    RestoreSession,
+)
 from repro.migration.runc import Runc
 
 __all__ = [
@@ -17,6 +23,8 @@ __all__ = [
     "CriuEngine",
     "CriuPlugin",
     "MemoryImage",
+    "PrecopyDecision",
+    "PrecopyWatchdog",
     "ProcessImage",
     "RestoreSession",
     "Runc",

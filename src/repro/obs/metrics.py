@@ -209,6 +209,21 @@ class MetricsRegistry:
             if stats is not None:
                 for name, value in stats.as_dict().items():
                     self.gauge(f"resilience.{name}").set(value)
+            # Heartbeat-detector behaviour (per-peer misses, suspicion
+            # transitions, flap count) is part of the digested surface:
+            # all three are simulated-time event counts, never wall-clock
+            # quantities.  Peers whose counters are all zero emit nothing,
+            # so fault-free runs keep their pre-existing digests
+            # byte-identical (same trick as the tenant-QoS gauges above).
+            detector_stats = getattr(world.control, "detector_stats", None)
+            if detector_stats:
+                for peer, counts in sorted(detector_stats.items()):
+                    if not any(counts.values()):
+                        continue
+                    for key in ("misses", "suspicions", "flaps"):
+                        self.gauge(
+                            f"resilience.detector.{peer}.{key}"
+                        ).set(counts[key])
 
     def scrape_fleet(self, fleet) -> None:
         """Fleet state store + fat-tree trunk accounting.

@@ -222,13 +222,17 @@ def wbs_timeout_run(wbs_timeout_s: float, msg_size: int = 256 * 1024,
 
 def torture_run(seed: int, index: int, scenarios: str = "all",
                 rpc_loss: Optional[float] = None,
-                kill_dest_at: Optional[str] = None):
+                kill_dest_at: Optional[str] = None,
+                partition: Optional[float] = None,
+                kill_scheduler_at: Optional[str] = None):
     """One torture case; returns the (picklable) TortureOutcome."""
     from repro.chaos.torture import run_case, sample_case
 
     return run_case(sample_case(seed, index, scenarios,
                                 rpc_loss=rpc_loss,
-                                kill_dest_at=kill_dest_at))
+                                kill_dest_at=kill_dest_at,
+                                partition=partition,
+                                kill_scheduler_at=kill_scheduler_at))
 
 
 def recovery_run(seed: int = 0, rpc_loss: float = 0.05,
@@ -399,10 +403,16 @@ def fleet_run(racks: int = 2, hosts_per_rack: int = 4, containers: int = 16,
               degrade_rack: Optional[str] = None,
               degrade_start_s: float = 0.0, degrade_end_s: float = 0.5,
               degrade_factor: float = 4.0,
-              kv_pairs: int = 0) -> Dict[str, object]:
+              kv_pairs: int = 0,
+              partition_hosts: Optional[str] = None,
+              partition_start_s: float = 5e-3,
+              partition_dur_s: float = 2e-3,
+              kill_scheduler_at: Optional[float] = None,
+              scheduler_down_s: float = 20e-3) -> Dict[str, object]:
     """One fleet point: build a fleet, run a scheduling policy under
     admission control, check every invariant (including
-    ``fleet-placement``), and return the digested outcome.
+    ``fleet-placement`` and ``lease-fencing``), and return the digested
+    outcome.
 
     ``concurrency`` sets every :class:`~repro.fleet.AdmissionLimits` cap,
     so the fleet-wide limit is the binding one — that's the knob the
@@ -410,10 +420,18 @@ def fleet_run(racks: int = 2, hosts_per_rack: int = 4, containers: int = 16,
     schedules a :class:`~repro.chaos.HostKill` at ``kill_at`` (the
     torture overlay: a host dies mid-drain and the supervisors reroute);
     ``degrade_rack`` slows that rack's ToR trunk by ``degrade_factor``.
+    ``partition_hosts`` (``"hostA:hostB"``) severs both directions of
+    that pair — control RPCs and RDMA alike — for ``partition_dur_s``
+    starting ``partition_start_s`` after traffic starts;
+    ``kill_scheduler_at`` crashes the scheduler that long into the drain
+    and lets :func:`~repro.fleet.drain_with_recovery` resume it from the
+    journal after ``scheduler_down_s``.
     """
     from repro.chaos import FaultPlan
     from repro.chaos.invariants import DEFAULT_REGISTRY, InvariantContext, run_digest
-    from repro.fleet import AdmissionLimits, MigrationScheduler, build_fleet
+    from repro.fleet import (AdmissionLimits, MigrationScheduler,
+                             SchedulerJournal, build_fleet,
+                             drain_with_recovery)
 
     wall_start = time.perf_counter()
     fleet = build_fleet(racks=racks, hosts_per_rack=hosts_per_rack,
@@ -430,6 +448,15 @@ def fleet_run(racks: int = 2, hosts_per_rack: int = 4, containers: int = 16,
                             start_s=fleet.sim.now + degrade_start_s,
                             end_s=fleet.sim.now + degrade_end_s,
                             factor=degrade_factor)
+    if partition_hosts is not None:
+        host_a, _, host_b = partition_hosts.partition(":")
+        plan.partition(host_a, host_b,
+                       start_s=fleet.sim.now + partition_start_s,
+                       end_s=fleet.sim.now + partition_start_s
+                       + partition_dur_s)
+    if kill_scheduler_at is not None:
+        plan.scheduler_crash(fleet.sim.now + kill_scheduler_at,
+                             down_s=scheduler_down_s)
     chaos = None
     if not plan.is_noop:
         plan.install(fleet)
@@ -440,9 +467,11 @@ def fleet_run(racks: int = 2, hosts_per_rack: int = 4, containers: int = 16,
     scheduler = MigrationScheduler(fleet, limits=limits, placement=placement,
                                    chaos=chaos)
     jobs = scheduler.plan(policy, target)
+    journal = SchedulerJournal()
 
     def flow():
-        freport = yield from scheduler.execute(jobs)
+        freport = yield from drain_with_recovery(scheduler, jobs,
+                                                 journal=journal)
         yield fleet.sim.timeout(3e-3)
         yield from fleet.quiesce()
         return freport
@@ -450,7 +479,7 @@ def fleet_run(racks: int = 2, hosts_per_rack: int = 4, containers: int = 16,
     report = fleet.run(flow(), limit=1200.0)
     ctx = InvariantContext(fleet, world=fleet.world,
                            endpoints=fleet.endpoints, pairs=fleet.pairs,
-                           reports=scheduler.migration_reports, plan=chaos,
+                           reports=journal.migration_reports, plan=chaos,
                            fleet=fleet)
     inv = DEFAULT_REGISTRY.run(ctx)
     wall_s = time.perf_counter() - wall_start
@@ -466,6 +495,10 @@ def fleet_run(racks: int = 2, hosts_per_rack: int = 4, containers: int = 16,
         "oversubscription": oversubscription,
         "kill_host": kill_host,
         "degrade_rack": degrade_rack,
+        "partition_hosts": partition_hosts,
+        "kill_scheduler_at": kill_scheduler_at,
+        "scheduler_crashes": journal.crashes,
+        "journal_log": list(journal.log),
         "jobs_planned": len(jobs),
         "migrations": report.migrations,
         "completed": report.completed,

@@ -20,6 +20,7 @@ from repro.resilience.detector import FailureDetector
 from repro.resilience.errors import (
     MigrationError,
     PeerCrashed,
+    PrecopyDiverged,
     PresetupFailed,
     RpcTimeout,
     WbsStuck,
@@ -32,8 +33,8 @@ from repro.resilience.rpc import (
     RetryPolicy,
 )
 
-__all__ = ["MigrationError", "RpcTimeout", "PeerCrashed", "PresetupFailed",
-           "WbsStuck", "RetryPolicy", "ResilienceStats",
+__all__ = ["MigrationError", "RpcTimeout", "PeerCrashed", "PrecopyDiverged",
+           "PresetupFailed", "WbsStuck", "RetryPolicy", "ResilienceStats",
            "DEFAULT_RETRY_POLICY", "PATIENT_RETRY_POLICY", "FailureDetector",
            "PhaseJournal", "MigrationSupervisor"]
 

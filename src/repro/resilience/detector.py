@@ -46,8 +46,20 @@ class FailureDetector:
         #: suspicion transitions observed over the detector's lifetime
         #: (monotonic; a cleared suspicion does not decrement it)
         self.total_suspicions = 0
+        #: monotonic per-peer counters (unlike ``misses``, never reset by
+        #: a healthy probe) — folded into the control plane's
+        #: ``detector_stats`` on :meth:`stop` so the metrics scrape sees
+        #: detector behaviour after the per-migration detector is gone
+        self.misses_total: Dict[str, int] = {p: 0 for p in self.peers}
+        self.suspicions: Dict[str, int] = {p: 0 for p in self.peers}
+        #: suspected → healthy transitions (a flapping daemon)
+        self.flaps: Dict[str, int] = {p: 0 for p in self.peers}
+        #: explicit reasons for suspicions that did not come from
+        #: heartbeat ticks (:meth:`force_suspect`)
+        self.forced: Dict[str, str] = {}
         self.running = False
         self._entry = None
+        self._folded = False
 
     # -- lease machinery ---------------------------------------------------
 
@@ -59,12 +71,18 @@ class FailureDetector:
         return self
 
     def stop(self) -> None:
-        if not self.running:
-            return
-        self.running = False
-        if self._entry is not None:
-            self.sim.cancel(self._entry)
-            self._entry = None
+        if self.running:
+            self.running = False
+            if self._entry is not None:
+                self.sim.cancel(self._entry)
+                self._entry = None
+        if not self._folded:
+            self._folded = True
+            note = getattr(self.control, "note_detector", None)
+            if note is not None:
+                for peer in self.peers:
+                    note(peer, self.misses_total[peer],
+                         self.suspicions[peer], self.flaps[peer])
 
     def _tick(self) -> None:
         if not self.running:
@@ -72,15 +90,40 @@ class FailureDetector:
         for peer in self.peers:
             if self.control.daemon_down(peer):
                 self.misses[peer] += 1
+                self.misses_total[peer] += 1
                 self.control.stats.heartbeats_missed += 1
                 if (self.misses[peer] >= self.miss_threshold
                         and peer not in self.suspected):
                     self.suspected.add(peer)
+                    self.suspicions[peer] += 1
                     self.total_suspicions += 1
             else:
                 self.misses[peer] = 0
-                self.suspected.discard(peer)
+                if peer in self.suspected:
+                    self.suspected.discard(peer)
+                    self.forced.pop(peer, None)
+                    self.flaps[peer] += 1
         self._entry = self.sim.schedule(self.interval_s, self._tick)
+
+    def force_suspect(self, peer: str, reason: str) -> None:
+        """Mark ``peer`` suspected immediately, bypassing the heartbeat
+        count — the control plane knows something the probes have not
+        seen yet (an administrative down-mark, a lease revocation, a
+        partition report).  The suspicion clears like any other when a
+        probe succeeds, and :meth:`check` reports the explicit reason
+        instead of a bogus "missed 0 heartbeats".
+        """
+        if peer not in self.misses:
+            self.peers.append(peer)
+            self.misses[peer] = 0
+            self.misses_total.setdefault(peer, 0)
+            self.suspicions.setdefault(peer, 0)
+            self.flaps.setdefault(peer, 0)
+        self.forced[peer] = reason
+        if peer not in self.suspected:
+            self.suspected.add(peer)
+            self.suspicions[peer] += 1
+            self.total_suspicions += 1
 
     # -- queries -----------------------------------------------------------
 
@@ -93,11 +136,21 @@ class FailureDetector:
         simulated time."""
         if peer is not None:
             if peer in self.suspected:
-                raise PeerCrashed(peer, self.misses.get(peer, 0))
+                raise self._crashed(peer)
             return
         for p in self.peers:
             if p in self.suspected:
-                raise PeerCrashed(p, self.misses.get(p, 0))
+                raise self._crashed(p)
+
+    def _crashed(self, peer: str) -> PeerCrashed:
+        """Build a :class:`PeerCrashed` that carries the real miss count,
+        or an explicit reason when the suspicion never went through the
+        heartbeat path (so it can never report "missed 0 heartbeats")."""
+        misses = self.misses.get(peer, 0)
+        reason = self.forced.get(peer)
+        if reason is None and misses == 0:
+            reason = "force-marked down before any heartbeat interval elapsed"
+        return PeerCrashed(peer, misses, reason=reason)
 
     def poll_interval(self, deadline_s: float,
                       failure: Optional[MigrationError] = None,
@@ -116,5 +169,7 @@ class FailureDetector:
             self.check()
         if self.sim.now >= deadline_s:
             raise failure if failure is not None else PeerCrashed(
-                "?", self.miss_threshold)
+                "?", self.miss_threshold,
+                reason="status-poll deadline expired with no more "
+                       "specific failure")
         yield self.sim.timeout(self.poll_s)

@@ -13,8 +13,10 @@ The hierarchy is deliberately flat: everything is a
 
 from __future__ import annotations
 
+from typing import Optional
+
 __all__ = ["MigrationError", "RpcTimeout", "PeerCrashed", "PresetupFailed",
-           "WbsStuck"]
+           "WbsStuck", "PrecopyDiverged"]
 
 
 class MigrationError(Exception):
@@ -39,13 +41,26 @@ class RpcTimeout(MigrationError):
 
 
 class PeerCrashed(MigrationError):
-    """The failure detector's lease on a peer daemon expired."""
+    """The failure detector's lease on a peer daemon expired.
 
-    def __init__(self, peer: str, misses: int = 0):
-        super().__init__(f"daemon on {peer!r} missed {misses} heartbeats "
-                         f"and is suspected crashed")
+    Carries either the real consecutive-miss count that tripped the
+    detector or, for suspicions that did not come from heartbeat ticks
+    (force-marked peers, expired wait deadlines), an explicit ``reason``
+    — never the misleading "missed 0 heartbeats" a force-marked peer
+    used to report.
+    """
+
+    def __init__(self, peer: str, misses: int = 0,
+                 reason: Optional[str] = None):
+        if reason is not None:
+            message = f"daemon on {peer!r} is suspected crashed: {reason}"
+        else:
+            message = (f"daemon on {peer!r} missed {misses} heartbeats "
+                       f"and is suspected crashed")
+        super().__init__(message)
         self.peer = peer
         self.misses = misses
+        self.reason = reason
 
 
 class PresetupFailed(MigrationError):
@@ -56,3 +71,20 @@ class PresetupFailed(MigrationError):
 class WbsStuck(MigrationError):
     """Wait-before-stop exceeded even the spotty-network upper bound —
     something beyond a slow wire is wrong (a peer died mid-drain)."""
+
+
+class PrecopyDiverged(MigrationError):
+    """The pre-copy convergence watchdog gave up: dirty pages are being
+    produced faster than the link ships them, and the projected
+    stop-and-copy blackout exceeds the configured budget.  Raised before
+    the commit point, so the transaction rolls back cleanly; the fleet
+    scheduler treats it as a *postpone* signal and requeues the job with
+    backoff instead of burning retries against the same hot writer.
+    """
+
+    def __init__(self, message: str, dirty_pages: int = 0,
+                 est_blackout_s: float = 0.0, rounds: int = 0):
+        super().__init__(message)
+        self.dirty_pages = dirty_pages
+        self.est_blackout_s = est_blackout_s
+        self.rounds = rounds

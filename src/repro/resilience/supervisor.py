@@ -71,6 +71,13 @@ class MigrationSupervisor:
             })
             if not report.aborted:
                 break
+            if report.failure and report.failure.startswith("PrecopyDiverged"):
+                # The degradation ladder postponed the migration: the
+                # workload is dirtying faster than we can ship, so an
+                # immediate retry would diverge identically.  Surface the
+                # postponement to the scheduler (which requeues with a
+                # longer backoff) instead of burning the attempt budget.
+                break
             if attempt < self.budget:
                 yield self.sim.timeout(self._backoff(attempt))
         report.attempts = list(self.attempts)

@@ -1,0 +1,212 @@
+"""Partition tolerance end to end: lease fencing, the scheduler journal,
+and the pre-copy degradation ladder under real faults (DESIGN.md §15).
+
+Four contracts:
+
+- a fleet drain survives a mid-drain network partition PLUS a scheduler
+  crash: the journal-driven replacement scheduler finishes the drain with
+  zero split-brain (``lease-fencing`` invariant) and zero double
+  migration (every container settles exactly once),
+- the whole partition/scheduler-crash story is bit-deterministic: the
+  same seed produces identical digests whether the sweep runs in-process
+  (``jobs=1``) or through spawn workers (``jobs=2``), and a re-run of a
+  torture fleet case reproduces the digest exactly,
+- the degradation ladder actually fires: a workload whose dirty set
+  grows every round trips ``PrecopyDiverged`` (rung 3, postpone) under a
+  tight blackout budget, rolls back cleanly, and caps to bounded
+  stop-and-copy (rung 2) under a budget the dirty set fits,
+- fault-free runs are unchanged: with no crash faults the recovery
+  wrapper is exactly one scheduler incarnation and the digest matches a
+  plain ``fleet_run``.
+"""
+
+import pytest
+
+from repro import cluster
+from repro.config import PAGE_SIZE
+from repro.core import LiveMigration, MigrRdmaWorld
+from repro.parallel import TaskSpec, run_tasks
+from repro.parallel.runners import fleet_run, torture_run
+
+FLEET_KW = dict(racks=2, hosts_per_rack=2, containers=8, seed=7,
+                policy="drain", target="rack0", concurrency=2)
+
+PARTITION_KW = dict(FLEET_KW, partition_hosts="r0h0:r1h0",
+                    partition_at=4e-3, partition_dur=2e-3,
+                    kill_scheduler_at=2e-3, scheduler_down_s=15e-3)
+
+
+def _strip_cli_only(kw):
+    """fleet_run's kwargs use runner names, the CLI uses flag names."""
+    out = dict(kw)
+    out["partition_start_s"] = out.pop("partition_at")
+    out["partition_dur_s"] = out.pop("partition_dur")
+    return out
+
+
+class TestPartitionedDrain:
+    def test_partition_plus_scheduler_crash_drains_clean(self):
+        row = fleet_run(**_strip_cli_only(PARTITION_KW))
+        assert row["invariants_ok"], row["violations"]
+        assert "lease-fencing" in row["invariants_checked"]
+        # The faults really fired.
+        assert row["scheduler_crashes"] == 1
+        assert row["chaos"]["scheduler_crashes"] == 1
+        assert row["chaos"]["partition_dropped"] > 0
+        # Zero double-migration: every planned container settled exactly
+        # once despite the crashed incarnation's in-flight supervisors.
+        assert row["completed"] == row["jobs_planned"] == 4
+        assert row["failed"] == 0
+        settles = [entry[2] for entry in row["journal_log"]
+                   if entry[1] == "settled"]
+        assert sorted(settles) == sorted(set(settles))
+
+    def test_digests_identical_across_jobs(self):
+        specs = [TaskSpec("repro.parallel.runners.fleet_run",
+                          _strip_cli_only(PARTITION_KW),
+                          label="fleet:partition")]
+        sequential = run_tasks(specs, jobs=1)
+        parallel = run_tasks(specs, jobs=2)
+        assert all(r.ok for r in sequential + parallel), (
+            [r.error for r in sequential + parallel if not r.ok])
+        seq, par = sequential[0], parallel[0]
+        assert seq.value["digest"] == par.value["digest"]
+        assert seq.value["fleet_digest"] == par.value["fleet_digest"]
+        assert seq.value["events_processed"] == par.value["events_processed"]
+        assert seq.value["invariants_ok"], seq.value["violations"]
+
+    def test_no_crash_faults_is_digest_identical_to_plain_run(self):
+        """The recovery wrapper + journal + leases add zero events and
+        zero draws when no fault fires: bit-identical to the seed path."""
+        plain = fleet_run(**FLEET_KW)
+        again = fleet_run(**FLEET_KW)
+        assert plain["digest"] == again["digest"]
+        assert plain["scheduler_crashes"] == 0
+        assert plain["invariants_ok"], plain["violations"]
+
+
+class TestTortureFleetCase:
+    def test_fleet_case_with_overlay_runs_clean_and_reproduces(self):
+        outcome = torture_run(seed=7, index=3, partition=1.0,
+                              kill_scheduler_at="random")
+        assert outcome.case.scenario == "fleet"
+        kinds = {f["kind"] for f in outcome.case.faults}
+        assert "scheduler_crash" in kinds
+        assert "partition" in kinds
+        assert outcome.report.ok, outcome.report.render()
+        again = torture_run(seed=7, index=3, partition=1.0,
+                            kill_scheduler_at="random")
+        assert outcome.digest == again.digest
+        assert outcome.fault_stats == again.fault_stats
+
+    def test_partition_overlay_on_perftest_case_runs_clean(self):
+        outcome = torture_run(seed=7, index=0, partition=1.0)
+        assert outcome.case.scenario != "fleet"
+        assert any(f["kind"] == "partition" for f in outcome.case.faults)
+        assert outcome.report.ok, outcome.report.render()
+
+    def test_overlay_off_leaves_base_campaign_bit_identical(self):
+        base = torture_run(seed=7, index=0)
+        flagged = torture_run(seed=7, index=0, partition=0.0)
+        assert base.case == flagged.case
+        assert base.digest == flagged.digest
+
+
+class _DivergingWorkload:
+    """Dirties a geometrically growing page set, growing one step each
+    time a checkpoint clears the dirty bits — so every pre-copy round
+    observes a strictly larger dirty set than the one before it,
+    regardless of how long the rounds take."""
+
+    def __init__(self, tb, pages=4096, start=128, factor=1.7,
+                 tick_s=1e-4):
+        self.tb = tb
+        self.container = tb.source.create_container("diverge")
+        self.process = self.container.add_process("writer")
+        self.vma = self.process.space.mmap(pages * PAGE_SIZE, tag="data",
+                                           name="heap")
+        self.pages = pages
+        self.n = start
+        self.factor = factor
+        self.tick_s = tick_s
+
+    def start(self):
+        def flow():
+            while True:
+                if self.process.space.dirty_page_count() < self.n:
+                    # A checkpoint swept our pages: redirty a bigger set.
+                    self.n = min(int(self.n * self.factor) + 1, self.pages)
+                for page in range(self.n):
+                    self.process.space.write(
+                        self.vma.start + page * PAGE_SIZE, b"d")
+                yield self.tb.sim.timeout(self.tick_s)
+
+        self.proc = self.tb.sim.spawn(flow())
+        self.process.attach(self.proc)
+
+
+class TestDegradationLadder:
+    def _run(self, budget_s):
+        tb = cluster.build()
+        tb.config.migration.precopy_blackout_budget_s = budget_s
+        world = MigrRdmaWorld(tb)
+        workload = _DivergingWorkload(tb)
+        workload.start()
+
+        def flow():
+            yield tb.sim.timeout(1e-3)
+            migration = LiveMigration(world, workload.container,
+                                      tb.destination, presetup=False)
+            report = yield from migration.run()
+            return report
+
+        report = tb.run(flow(), limit=10.0)
+        return tb, workload, report
+
+    def test_diverging_workload_postpones_under_tight_budget(self):
+        # Budget below even the full-restore tail: rung 3, postpone.
+        tb, workload, report = self._run(budget_s=1e-3)
+        assert report.failure is not None
+        assert report.failure.startswith("PrecopyDiverged")
+        assert "exceeds budget" in report.failure
+        # Rolled back: the container still lives (and runs) on the source.
+        assert workload.container.name in tb.source.containers
+        assert workload.container.name not in tb.destination.containers
+        assert not workload.process.frozen
+
+    def test_diverging_workload_caps_under_generous_budget(self):
+        # The dirty set ships inside a 1s budget: rung 2, bounded
+        # stop-and-copy instead of an unbounded pre-copy tail.
+        tb, workload, report = self._run(budget_s=1.0)
+        assert report.failure is None
+        assert report.precopy_capped
+        assert workload.container.name in tb.destination.containers
+
+    def test_diverging_workload_observer_mode_still_lands(self):
+        # Default (infinite) budget: the watchdog only observes; the
+        # legacy iteration cap ends pre-copy and the migration lands.
+        tb, workload, report = self._run(budget_s=float("inf"))
+        assert report.failure is None
+        assert not report.precopy_capped
+        assert workload.container.name in tb.destination.containers
+
+
+class TestSupervisorPostpone:
+    def test_supervisor_does_not_burn_retries_on_divergence(self):
+        """PrecopyDiverged means 'this workload will not converge right
+        now' — an immediate identical retry is wasted blackout, so the
+        supervisor must surface it after ONE attempt (the fleet scheduler
+        owns the backoff/requeue)."""
+        from repro.resilience import MigrationSupervisor
+
+        tb = cluster.build()
+        tb.config.migration.precopy_blackout_budget_s = 1e-3
+        world = MigrRdmaWorld(tb)
+        workload = _DivergingWorkload(tb)
+        workload.start()
+        supervisor = MigrationSupervisor(world, workload.container,
+                                         tb.destination, budget=3,
+                                         presetup=False)
+        report = tb.run(supervisor.run(), limit=10.0)
+        assert report.failure.startswith("PrecopyDiverged")
+        assert len(supervisor.attempts) == 1

@@ -207,6 +207,80 @@ class TestMetricsScrape:
         assert snap["chaos.boundaries_seen"] == 0
 
 
+class TestPartition:
+    def test_partition_severs_both_directions(self, net):
+        from repro.chaos import Partition
+
+        partition = Partition("a", "b", start_s=0.0, end_s=1.0)
+        assert partition.severs("a", "b", 0.5)
+        assert partition.severs("b", "a", 0.5)
+        assert not partition.severs("a", "b", 1.5)
+        assert not partition.severs("a", "c", 0.5)
+
+    def test_partition_drops_counted_separately_from_rules(self, net):
+        plan = FaultPlan(seed=1).partition("a", "b", 0.0, 1.0).install(net)
+        got = []
+        net.node("b").register_handler("p", got.append)
+        net.node("a").send(Message("a", "b", "p", 100))
+        net.node("b").send(Message("b", "a", "p", 100))
+        net.sim.run()
+        assert got == []
+        assert plan.stats.partition_dropped == 2
+        assert plan.stats.fabric_dropped == 0
+        assert net.messages_dropped == 2
+
+    def test_partition_heals_at_window_end(self, net):
+        plan = FaultPlan(seed=1).partition("a", "b", 0.0, 1e-3).install(net)
+        got = []
+        net.node("b").register_handler("p", got.append)
+
+        def flow():
+            net.node("a").send(Message("a", "b", "p", 100))
+            yield net.sim.timeout(2e-3)  # partition heals
+            net.node("a").send(Message("a", "b", "p", 100))
+            yield net.sim.timeout(1e-3)
+
+        net.sim.spawn(flow())
+        net.sim.run()
+        assert len(got) == 1
+        assert plan.stats.partition_dropped == 1
+
+    def test_partition_consumes_no_rng(self, net):
+        plan = FaultPlan(seed=1).partition("a", "b", 0.0, 1.0)
+        plan.drop(0.5)  # a probabilistic rule that WOULD draw if consulted
+        plan.install(net)
+        state = plan.rng.getstate()
+        net.node("a").send(Message("a", "b", "p", 100))
+        net.sim.run()
+        # The sever fires before any rule: dropped with zero draws.
+        assert plan.rng.getstate() == state
+        assert plan.stats.partition_dropped == 1
+
+    def test_invalid_partition_rejected(self):
+        from repro.chaos import Partition
+
+        with pytest.raises(ValueError):
+            Partition("a", "a", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Partition("a", "b", 1.0, 0.5)
+
+
+class TestSchedulerCrash:
+    def test_fires_once_at_its_time(self):
+        plan = FaultPlan(seed=1).scheduler_crash(5e-3, down_s=10e-3)
+        assert plan.scheduler_crash_due(4e-3) is None
+        crash = plan.scheduler_crash_due(5e-3)
+        assert crash is not None
+        assert crash.down_s == pytest.approx(10e-3)
+        assert plan.scheduler_crash_due(6e-3) is None  # fired exactly once
+        assert plan.stats.scheduler_crashes == 1
+
+    def test_noop_plan_has_no_crashes(self):
+        assert FaultPlan(seed=1).is_noop
+        assert not FaultPlan(seed=1).scheduler_crash(1.0).is_noop
+        assert not FaultPlan(seed=1).partition("a", "b", 0.0, 1.0).is_noop
+
+
 class TestWbsBugDetectability:
     def test_dropped_wbs_drain_is_caught(self, monkeypatch):
         """Acceptance gate: silently discarding the CQEs that wait-before-

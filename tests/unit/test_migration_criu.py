@@ -204,3 +204,93 @@ class TestCosts:
         tb.run(flow())
         assert process.frozen
         assert len(ticks) == 5
+
+
+class TestPrecopyWatchdog:
+    """The convergence watchdog + degradation ladder (DESIGN.md §15)."""
+
+    def mig(self, **overrides):
+        from repro.config import default_config
+
+        mig = default_config().migration
+        for name, value in overrides.items():
+            setattr(mig, name, value)
+        return mig
+
+    def test_default_budget_is_pure_observer(self):
+        import math
+
+        from repro.migration import PrecopyDecision, PrecopyWatchdog
+
+        watchdog = PrecopyWatchdog(self.mig())
+        assert not watchdog.armed
+        dirty = 1000
+        for _ in range(6):  # dirty set doubling every round: divergence
+            assert watchdog.decide(dirty) == PrecopyDecision.CONTINUE
+            watchdog.observe(dirty, dirty * PAGE_SIZE, 1e-3)
+            dirty *= 2
+        assert not watchdog.capped
+        assert math.isinf(self.mig().precopy_blackout_budget_s)
+
+    def test_divergence_within_budget_caps_to_stop_copy(self):
+        from repro.migration import PrecopyDecision, PrecopyWatchdog
+
+        watchdog = PrecopyWatchdog(self.mig(precopy_blackout_budget_s=1.0))
+        assert watchdog.armed
+        assert watchdog.decide(1000) == PrecopyDecision.CONTINUE
+        watchdog.observe(1000, 1000 * PAGE_SIZE, 1e-3)
+        assert watchdog.decide(1200) == PrecopyDecision.CONTINUE  # streak 1
+        watchdog.observe(1200, 1200 * PAGE_SIZE, 1e-3)
+        # streak 2 == precopy_divergence_rounds, and 1400 pages ship well
+        # inside a 1s budget: rung 2, bounded stop-and-copy.
+        assert watchdog.decide(1400) == PrecopyDecision.STOP_COPY
+        assert watchdog.capped
+
+    def test_divergence_over_budget_postpones(self):
+        from repro.migration import PrecopyDecision, PrecopyWatchdog
+
+        # Budget below even the full-restore tail: no dirty set fits.
+        mig = self.mig(precopy_blackout_budget_s=1e-3)
+        watchdog = PrecopyWatchdog(mig)
+        watchdog.decide(1000)
+        watchdog.observe(1000, 1000 * PAGE_SIZE, 1e-3)
+        watchdog.decide(1200)
+        watchdog.observe(1200, 1200 * PAGE_SIZE, 1e-3)
+        assert watchdog.decide(1400) == PrecopyDecision.POSTPONE
+        assert not watchdog.capped
+
+    def test_converging_round_resets_the_streak(self):
+        from repro.migration import PrecopyDecision, PrecopyWatchdog
+
+        watchdog = PrecopyWatchdog(self.mig(precopy_blackout_budget_s=1e-3))
+        watchdog.decide(1000)
+        watchdog.observe(1000, 1000 * PAGE_SIZE, 1e-3)
+        watchdog.decide(1200)                       # streak 1
+        watchdog.observe(1200, 1200 * PAGE_SIZE, 1e-3)
+        assert watchdog.decide(600) == PrecopyDecision.CONTINUE  # shrank
+        watchdog.observe(600, 600 * PAGE_SIZE, 1e-3)
+        assert watchdog._bad_streak == 0
+        # Divergence must re-accumulate from scratch after convergence.
+        assert watchdog.decide(700) == PrecopyDecision.CONTINUE
+        watchdog.observe(700, 700 * PAGE_SIZE, 1e-3)
+        assert watchdog.decide(800) == PrecopyDecision.POSTPONE
+
+    def test_est_blackout_is_ship_time_plus_restore_tail(self):
+        from repro.migration import PrecopyWatchdog
+
+        mig = self.mig()
+        watchdog = PrecopyWatchdog(mig)
+        dirty = 2048
+        expected = (dirty * PAGE_SIZE * 8.0 / mig.transfer_rate_bps
+                    + mig.full_restore_base_s)
+        assert watchdog.est_blackout_s(dirty) == pytest.approx(expected)
+
+    def test_constant_dirty_set_is_not_divergence(self):
+        # perftest-style workloads re-dirty the same pages every round;
+        # a flat dirty set must never trip the ladder (ratio > 1.0).
+        from repro.migration import PrecopyDecision, PrecopyWatchdog
+
+        watchdog = PrecopyWatchdog(self.mig(precopy_blackout_budget_s=1e-3))
+        for _ in range(6):
+            assert watchdog.decide(1000) == PrecopyDecision.CONTINUE
+            watchdog.observe(1000, 1000 * PAGE_SIZE, 1e-3)

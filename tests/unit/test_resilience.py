@@ -160,3 +160,94 @@ class TestFailureDetector:
         with pytest.raises(PeerCrashed):
             detector.check("partner0")
         detector.stop()
+
+    def test_peer_crashed_carries_real_miss_count(self):
+        tb, world, detector = self.build()
+        detector.start()
+        world.control.mark_daemon_down("dst")
+        tb.sim.run(until=4.5e-3)  # 4 ticks, all missed
+        with pytest.raises(PeerCrashed) as excinfo:
+            detector.check("dst")
+        assert excinfo.value.misses == 4
+        assert "missed 4 heartbeats" in str(excinfo.value)
+        assert "missed 0" not in str(excinfo.value)
+        detector.stop()
+
+    def test_force_suspect_reports_reason_not_zero_misses(self):
+        # The regression: a peer force-marked down before any heartbeat
+        # interval elapsed used to raise "missed 0 heartbeats".
+        tb, world, detector = self.build()
+        detector.start()
+        detector.force_suspect("dst", "host-kill fault marked the daemon down")
+        assert detector.suspects("dst")
+        with pytest.raises(PeerCrashed) as excinfo:
+            detector.check("dst")
+        assert excinfo.value.misses == 0
+        assert excinfo.value.reason == ("host-kill fault marked the "
+                                        "daemon down")
+        assert "missed 0" not in str(excinfo.value)
+        assert "host-kill fault" in str(excinfo.value)
+        detector.stop()
+
+    def test_zero_miss_suspicion_gets_fallback_reason(self):
+        # Even without force_suspect's explicit reason, a suspicion with no
+        # recorded misses must explain itself instead of "missed 0".
+        tb, world, detector = self.build()
+        detector.suspected.add("dst")  # simulate an out-of-band mark
+        with pytest.raises(PeerCrashed) as excinfo:
+            detector.check("dst")
+        assert excinfo.value.reason is not None
+        assert "missed 0" not in str(excinfo.value)
+
+    def test_force_suspect_clears_on_healthy_probe_and_counts_flap(self):
+        tb, world, detector = self.build()
+        detector.start()
+        detector.force_suspect("dst", "partition report")
+        tb.sim.run(until=1.5e-3)  # one tick with the daemon healthy
+        assert not detector.suspects("dst")
+        assert detector.forced == {}
+        assert detector.flaps["dst"] == 1
+        detector.check("dst")  # no raise
+        detector.stop()
+
+    def test_force_suspect_tracks_untracked_peer(self):
+        tb, world, detector = self.build()
+        detector.force_suspect("partner7", "operator mark")
+        assert detector.suspects("partner7")
+        assert "partner7" in detector.peers
+        with pytest.raises(PeerCrashed):
+            detector.check("partner7")
+
+    def test_stop_folds_counters_into_control_once(self):
+        tb, world, detector = self.build()
+        detector.start()
+        world.control.mark_daemon_down("dst")
+        tb.sim.run(until=4.5e-3)
+        detector.stop()
+        detector.stop()  # idempotent: counters fold exactly once
+        stats = world.control.detector_stats
+        assert stats["dst"]["misses"] == 4
+        assert stats["dst"]["suspicions"] == 1
+        assert stats["dst"]["flaps"] == 0
+        assert stats["partner0"] == {"misses": 0, "suspicions": 0, "flaps": 0}
+
+    def test_detector_state_reaches_metrics_scrape(self):
+        from repro.obs import MetricsRegistry
+
+        tb, world, detector = self.build()
+        detector.start()
+        world.control.mark_daemon_down("dst")
+        tb.sim.run(until=4.5e-3)
+        world.control.mark_daemon_up("dst")
+        tb.sim.run(until=5.5e-3)  # healthy probe: one flap
+        detector.stop()
+        registry = MetricsRegistry()
+        registry.scrape_testbed(tb, world)
+        snap = registry.snapshot()
+        assert snap["resilience.detector.dst.misses"] == 4
+        assert snap["resilience.detector.dst.suspicions"] == 1
+        assert snap["resilience.detector.dst.flaps"] == 1
+        # All-zero peers stay out of the digest surface entirely, so
+        # fault-free runs scrape byte-identically to the pre-detector era.
+        assert not any("partner0" in key for key in snap
+                       if key.startswith("resilience.detector."))
